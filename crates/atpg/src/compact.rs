@@ -1,0 +1,148 @@
+//! Static test-cube compaction.
+//!
+//! PODEM cubes specify only the inputs needed for one fault; cubes for
+//! different faults are frequently *compatible* (agree on every specified
+//! position) and can be merged into a single pattern before fill. This is
+//! the classical static-compaction step (cf. COMPACTEST, ref [15] of the
+//! paper) and complements the dynamic reverse-order pass in
+//! [`Atpg`](crate::Atpg): fewer patterns means a smaller initial
+//! reseeding `T`, which directly shrinks the Detection Matrix.
+
+use fbist_bits::Cube;
+
+/// Greedily merges compatible cubes, first-fit over a size-descending
+/// order (most-specified cubes first makes the bins tight early).
+///
+/// The result covers every input cube: each input cube is contained in
+/// exactly one output cube.
+///
+/// # Panics
+///
+/// Panics if the cubes have differing widths.
+///
+/// # Example
+///
+/// ```
+/// use fbist_atpg::compact_cubes;
+/// use fbist_bits::Cube;
+///
+/// let cubes: Vec<Cube> = ["1XX0", "X1X0", "0XXX"]
+///     .iter().map(|s| s.parse().unwrap()).collect();
+/// let merged = compact_cubes(&cubes);
+/// // "1XX0" and "X1X0" merge into "11X0"; "0XXX" conflicts with it
+/// assert_eq!(merged.len(), 2);
+/// ```
+pub fn compact_cubes(cubes: &[Cube]) -> Vec<Cube> {
+    if cubes.is_empty() {
+        return Vec::new();
+    }
+    let width = cubes[0].width();
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].specified_count()));
+
+    let mut bins: Vec<Cube> = Vec::new();
+    for &i in &order {
+        let c = &cubes[i];
+        assert_eq!(c.width(), width, "cube width mismatch");
+        let mut placed = false;
+        for bin in &mut bins {
+            if let Some(merged) = bin.merge(c) {
+                *bin = merged;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            bins.push(c.clone());
+        }
+    }
+    bins
+}
+
+/// Compaction statistics: `(input cubes, output cubes, ratio)`.
+pub fn compaction_ratio(before: usize, after: usize) -> f64 {
+    if before == 0 {
+        1.0
+    } else {
+        after as f64 / before as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cubes(specs: &[&str]) -> Vec<Cube> {
+        specs.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn disjoint_cubes_all_merge() {
+        let cs = cubes(&["1XXX", "X1XX", "XX1X", "XXX1"]);
+        let merged = compact_cubes(&cs);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].to_string(), "1111");
+    }
+
+    #[test]
+    fn conflicting_cubes_stay_apart() {
+        let cs = cubes(&["1XXX", "0XXX"]);
+        assert_eq!(compact_cubes(&cs).len(), 2);
+    }
+
+    #[test]
+    fn every_input_contained_in_some_output() {
+        let cs = cubes(&["1X0X", "X10X", "0XX1", "XX01", "111X"]);
+        let merged = compact_cubes(&cs);
+        for c in &cs {
+            let hit = merged.iter().any(|m| {
+                // m contains c iff merging doesn't add anything: c ⊆ m when
+                // m is compatible with c and m's cares ⊇ c's cares on agreement
+                m.merge(c).is_some_and(|u| &u == m)
+            });
+            assert!(hit, "cube {c} lost by compaction");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compact_cubes(&[]).is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_incompatible_set() {
+        let cs = cubes(&["10", "01"]);
+        let once = compact_cubes(&cs);
+        let twice = compact_cubes(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert_eq!(compaction_ratio(10, 5), 0.5);
+        assert_eq!(compaction_ratio(0, 0), 1.0);
+    }
+
+    #[test]
+    fn real_podem_cubes_compact() {
+        use crate::podem::{Podem, PodemOutcome};
+        use fbist_fault::FaultList;
+        use fbist_netlist::embedded;
+        let n = embedded::adder4();
+        let podem = Podem::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut cs = Vec::new();
+        for (_, f) in faults.iter() {
+            if let PodemOutcome::Test(c) = podem.generate(f) {
+                cs.push(c);
+            }
+        }
+        let merged = compact_cubes(&cs);
+        assert!(
+            merged.len() * 2 < cs.len(),
+            "expected ≥2x compaction on adder cubes: {} → {}",
+            cs.len(),
+            merged.len()
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! The complete ATPG engine: random phase + PODEM + compaction.
+
+use fbist_bits::BitVec;
+use fbist_fault::{FaultId, FaultList, FaultSimulator};
+use fbist_netlist::Netlist;
+use fbist_sim::SimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::podem::{Podem, PodemConfig, PodemOutcome};
+
+/// How the don't-care positions of PODEM cubes are filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillMode {
+    /// Fill with pseudo-random values (default; best for fortuitous
+    /// detection of other faults).
+    #[default]
+    Random,
+    /// Fill with zeros.
+    Zeros,
+    /// Fill with ones.
+    Ones,
+}
+
+/// Configuration of an [`Atpg`] run.
+#[derive(Debug, Clone)]
+pub struct AtpgConfig {
+    /// RNG seed; equal seeds give bit-identical results.
+    pub seed: u64,
+    /// Patterns per random batch (one packed block).
+    pub random_batch: usize,
+    /// Hard cap on the number of random batches.
+    pub max_random_batches: usize,
+    /// Stop the random phase after this many consecutive batches that
+    /// detect nothing new.
+    pub random_stall_batches: usize,
+    /// PODEM backtrack budget per fault.
+    pub backtrack_limit: usize,
+    /// Fill mode for cube don't-cares.
+    pub fill: FillMode,
+    /// Run the reverse-order compaction pass.
+    pub compact: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            seed: 0x5EED_CAFE,
+            random_batch: 64,
+            max_random_batches: 64,
+            random_stall_batches: 3,
+            backtrack_limit: 400,
+            fill: FillMode::Random,
+            compact: true,
+        }
+    }
+}
+
+/// Result of an ATPG run — the paper's `(ATPGTS, F)` pair plus statistics.
+#[derive(Debug, Clone)]
+pub struct AtpgResult {
+    /// The generated (compacted) test set `ATPGTS`.
+    pub patterns: Vec<BitVec>,
+    /// Per-fault detection flag, indexed like the target list.
+    pub detected: BitVec,
+    /// Faults proven untestable by PODEM.
+    pub untestable: Vec<FaultId>,
+    /// Faults on which PODEM exhausted its backtrack budget.
+    pub aborted: Vec<FaultId>,
+    /// Faults detected during the random phase.
+    pub random_detected: usize,
+    /// Number of PODEM-produced patterns (before compaction).
+    pub podem_tests: usize,
+    /// Total faults targeted.
+    pub total_faults: usize,
+}
+
+impl AtpgResult {
+    /// Fault coverage over the target list, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected.count_ones() as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Coverage over the *testable* faults (excludes proven-untestable), the
+    /// figure usually quoted as "fault efficiency".
+    pub fn efficiency(&self) -> f64 {
+        let testable = self.total_faults - self.untestable.len();
+        if testable == 0 {
+            1.0
+        } else {
+            self.detected.count_ones() as f64 / testable as f64
+        }
+    }
+
+    /// Ids of the detected faults, in target-list order. This is the
+    /// paper's fault list `F`: the set the reseeding must re-cover.
+    pub fn detected_ids(&self) -> Vec<FaultId> {
+        (0..self.total_faults)
+            .filter(|&i| self.detected.get(i))
+            .map(FaultId::from_index)
+            .collect()
+    }
+}
+
+/// The full ATPG engine.
+///
+/// See the [crate-level documentation](crate) for the role it plays in the
+/// reseeding flow and an end-to-end example.
+#[derive(Debug)]
+pub struct Atpg {
+    netlist: Netlist,
+    fsim: FaultSimulator,
+}
+
+impl Atpg {
+    /// Builds the engine for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] for sequential netlists and
+    /// [`SimError::Netlist`] for invalid ones.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        // validate eagerly so `run` cannot fail
+        let _ = Podem::new(netlist)?;
+        Ok(Atpg {
+            netlist: netlist.clone(),
+            fsim: FaultSimulator::new(netlist)?,
+        })
+    }
+
+    /// The targeted netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Runs ATPG against `faults`.
+    pub fn run(&self, faults: &FaultList, config: &AtpgConfig) -> AtpgResult {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let width = self.netlist.inputs().len();
+        let mut detected = BitVec::zeros(faults.len());
+        let mut patterns: Vec<BitVec> = Vec::new();
+        let mut random_detected = 0usize;
+
+        // ---- Phase 1: random patterns with fault dropping -------------
+        let mut stall = 0usize;
+        for _ in 0..config.max_random_batches {
+            if detected.count_ones() == faults.len() || stall >= config.random_stall_batches {
+                break;
+            }
+            let batch: Vec<BitVec> = (0..config.random_batch)
+                .map(|_| BitVec::random_with(width, &mut || rng.gen::<u64>()))
+                .collect();
+            let (remaining_ids, remaining_list) = self.undetected(faults, &detected);
+            let res = self.fsim.run(&batch, &remaining_list);
+            if res.detected_count() == 0 {
+                stall += 1;
+                continue;
+            }
+            stall = 0;
+            random_detected += res.detected_count();
+            // keep only the patterns that first-detect something
+            let mut useful: Vec<usize> = res
+                .first_detection
+                .iter()
+                .flatten()
+                .map(|&p| p as usize)
+                .collect();
+            useful.sort_unstable();
+            useful.dedup();
+            for &p in &useful {
+                patterns.push(batch[p].clone());
+            }
+            for (sub, &orig) in remaining_ids.iter().enumerate() {
+                if res.detected.get(sub) {
+                    detected.set(orig.index(), true);
+                }
+            }
+        }
+
+        // ---- Phase 2: deterministic PODEM ------------------------------
+        let podem = Podem::with_config(
+            &self.netlist,
+            PodemConfig {
+                backtrack_limit: config.backtrack_limit,
+            },
+        )
+        .expect("netlist already validated");
+        let mut untestable = Vec::new();
+        let mut aborted = Vec::new();
+        let mut podem_tests = 0usize;
+        for (fid, fault) in faults.iter() {
+            if detected.get(fid.index()) {
+                continue;
+            }
+            match podem.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    let pattern = match config.fill {
+                        FillMode::Random => cube.fill_with(&mut || rng.gen::<u64>()),
+                        FillMode::Zeros => cube.fill_const(false),
+                        FillMode::Ones => cube.fill_const(true),
+                    };
+                    podem_tests += 1;
+                    // fault-simulate against all undetected faults
+                    let (remaining_ids, remaining_list) = self.undetected(faults, &detected);
+                    let det = self
+                        .fsim
+                        .detects(std::slice::from_ref(&pattern), &remaining_list);
+                    for (sub, &orig) in remaining_ids.iter().enumerate() {
+                        if det.get(sub) {
+                            detected.set(orig.index(), true);
+                        }
+                    }
+                    debug_assert!(
+                        detected.get(fid.index()),
+                        "PODEM cube failed to detect its own fault {}",
+                        fault.describe(&self.netlist)
+                    );
+                    patterns.push(pattern);
+                }
+                PodemOutcome::Untestable => untestable.push(fid),
+                PodemOutcome::Aborted => aborted.push(fid),
+            }
+        }
+
+        // ---- Phase 3: reverse-order compaction --------------------------
+        if config.compact && patterns.len() > 1 {
+            let reversed: Vec<BitVec> = patterns.iter().rev().cloned().collect();
+            let res = self.fsim.run(&reversed, faults);
+            let mut keep: Vec<usize> = res
+                .first_detection
+                .iter()
+                .flatten()
+                .map(|&p| p as usize)
+                .collect();
+            keep.sort_unstable();
+            keep.dedup();
+            let compacted: Vec<BitVec> = keep.iter().map(|&p| reversed[p].clone()).collect();
+            debug_assert_eq!(
+                res.detected.count_ones(),
+                detected.count_ones(),
+                "compaction changed coverage"
+            );
+            patterns = compacted;
+        }
+
+        AtpgResult {
+            patterns,
+            detected,
+            untestable,
+            aborted,
+            random_detected,
+            podem_tests,
+            total_faults: faults.len(),
+        }
+    }
+
+    /// Splits out the not-yet-detected faults as (original ids, sublist).
+    fn undetected(&self, faults: &FaultList, detected: &BitVec) -> (Vec<FaultId>, FaultList) {
+        let ids: Vec<FaultId> = faults
+            .iter()
+            .filter(|(id, _)| !detected.get(id.index()))
+            .map(|(id, _)| id)
+            .collect();
+        let list = faults.subset(&ids);
+        (ids, list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::{bench, embedded};
+
+    #[test]
+    fn c17_full_coverage_and_deterministic() {
+        let n = embedded::c17();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let cfg = AtpgConfig::default();
+        let r1 = atpg.run(&faults, &cfg);
+        let r2 = atpg.run(&faults, &cfg);
+        assert!((r1.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(r1.patterns, r2.patterns, "same seed, same result");
+        assert!(r1.untestable.is_empty());
+        assert!(r1.aborted.is_empty());
+    }
+
+    #[test]
+    fn adder_full_coverage() {
+        let n = embedded::adder4();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let r = atpg.run(&faults, &AtpgConfig::default());
+        assert!((r.coverage() - 1.0).abs() < 1e-12, "coverage {}", r.coverage());
+        // the compacted set must stay well below exhaustive (512)
+        assert!(r.patterns.len() < 100, "{} patterns", r.patterns.len());
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let n = embedded::adder4();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut cfg = AtpgConfig::default();
+        cfg.compact = false;
+        let full = atpg.run(&faults, &cfg);
+        cfg.compact = true;
+        let compacted = atpg.run(&faults, &cfg);
+        assert_eq!(
+            full.detected.count_ones(),
+            compacted.detected.count_ones()
+        );
+        assert!(compacted.patterns.len() <= full.patterns.len());
+        // verify compacted patterns really cover everything claimed
+        let check = atpg.fsim.detects(&compacted.patterns, &faults);
+        assert_eq!(check.count_ones(), compacted.detected.count_ones());
+    }
+
+    #[test]
+    fn redundancy_is_reported() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\ny = OR(a, na)\nz = AND(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let r = atpg.run(&faults, &AtpgConfig::default());
+        assert!(!r.untestable.is_empty());
+        assert!(r.coverage() < 1.0);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12, "all testable faults found");
+    }
+
+    #[test]
+    fn fill_modes_affect_patterns_not_coverage() {
+        let n = embedded::majority();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        for fill in [FillMode::Random, FillMode::Zeros, FillMode::Ones] {
+            let cfg = AtpgConfig {
+                fill,
+                max_random_batches: 0, // force PODEM-only
+                ..AtpgConfig::default()
+            };
+            let r = atpg.run(&faults, &cfg);
+            assert!((r.coverage() - 1.0).abs() < 1e-12, "{fill:?}");
+        }
+    }
+
+    #[test]
+    fn podem_only_run_works() {
+        let n = embedded::c17();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let cfg = AtpgConfig {
+            max_random_batches: 0,
+            ..AtpgConfig::default()
+        };
+        let r = atpg.run(&faults, &cfg);
+        assert!((r.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(r.random_detected, 0);
+        assert!(r.podem_tests > 0);
+    }
+
+    #[test]
+    fn detected_ids_match_flags() {
+        let n = embedded::c17();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let r = atpg.run(&faults, &AtpgConfig::default());
+        let ids = r.detected_ids();
+        assert_eq!(ids.len(), r.detected.count_ones());
+        for id in ids {
+            assert!(r.detected.get(id.index()));
+        }
+    }
+}

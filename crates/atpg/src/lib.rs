@@ -1,0 +1,44 @@
+//! Deterministic test pattern generation (ATPG) for stuck-at faults.
+//!
+//! The paper derives its initial reseeding from "the test set `ATPGTS`
+//! provided by a commercial gate-level ATPG tool" (TestGen). This crate is
+//! that tool's stand-in:
+//!
+//! * [`testability`] — SCOAP-style controllability/observability estimates
+//!   used to guide search;
+//! * [`Podem`] — the PODEM algorithm (Goel 1981) over a two-plane
+//!   (good/faulty) three-valued simulation, complete for combinational
+//!   stuck-at faults: returns a test cube, a proof of untestability, or an
+//!   abort after a backtrack budget;
+//! * [`Atpg`] — the full engine: a random-pattern phase with fault
+//!   dropping, a deterministic PODEM phase for the random-resistant
+//!   remainder, and reverse-order compaction. Its output — the compacted
+//!   pattern list plus the list of faults it covers — is exactly the
+//!   `(ATPGTS, F)` pair the reseeding flow starts from.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_netlist::embedded;
+//! use fbist_fault::FaultList;
+//! use fbist_atpg::{Atpg, AtpgConfig};
+//!
+//! let c17 = embedded::c17();
+//! let faults = FaultList::collapsed(&c17);
+//! let result = Atpg::new(&c17)?.run(&faults, &AtpgConfig::default());
+//! assert!((result.coverage() - 1.0).abs() < 1e-9); // c17 is fully testable
+//! assert!(!result.patterns.is_empty());
+//! # Ok::<(), fbist_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compact;
+mod engine;
+mod podem;
+pub mod testability;
+
+pub use compact::{compact_cubes, compaction_ratio};
+pub use engine::{Atpg, AtpgConfig, AtpgResult, FillMode};
+pub use podem::{Podem, PodemConfig, PodemOutcome, PodemStats};

@@ -1,0 +1,301 @@
+//! SCOAP-style testability measures.
+//!
+//! The Sandia Controllability/Observability Analysis Program (SCOAP)
+//! measures estimate, per net, how many primary-input assignments are
+//! needed to *control* the net to 0 or 1 (`CC0`, `CC1`) and how hard it is
+//! to *observe* the net at a primary output (`CO`). PODEM uses them to pick
+//! the most promising input during backtrace; they are also a useful
+//! profiling tool in their own right for spotting random-pattern-resistant
+//! regions.
+
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+/// SCOAP testability estimates for a combinational netlist.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_atpg::testability::Testability;
+///
+/// let c17 = embedded::c17();
+/// let t = Testability::analyze(&c17);
+/// let pi = c17.inputs()[0];
+/// assert_eq!(t.cc0(pi), 1);
+/// assert_eq!(t.cc1(pi), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Testability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+/// Saturating cap so that unreachable/constant cases don't overflow.
+const INF: u32 = u32::MAX / 4;
+
+impl Testability {
+    /// Computes SCOAP measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not levelize. Sequential netlists are
+    /// handled by treating DFF outputs like primary inputs (full-scan
+    /// assumption).
+    pub fn analyze(netlist: &Netlist) -> Testability {
+        let order = netlist.levelize().expect("testability requires a valid netlist");
+        let n = netlist.gate_count();
+        let mut cc0 = vec![INF; n];
+        let mut cc1 = vec![INF; n];
+
+        // Forward pass: controllability.
+        for &id in &order {
+            let g = netlist.gate(id);
+            let i = id.index();
+            let f0 = |f: &GateId| cc0[f.index()];
+            let f1 = |f: &GateId| cc1[f.index()];
+            match g.kind() {
+                GateKind::Input | GateKind::Dff => {
+                    cc0[i] = 1;
+                    cc1[i] = 1;
+                }
+                GateKind::Const0 => {
+                    cc0[i] = 0;
+                    cc1[i] = INF;
+                }
+                GateKind::Const1 => {
+                    cc0[i] = INF;
+                    cc1[i] = 0;
+                }
+                GateKind::Buff => {
+                    cc0[i] = cc0[g.fanin()[0].index()].saturating_add(1).min(INF);
+                    cc1[i] = cc1[g.fanin()[0].index()].saturating_add(1).min(INF);
+                }
+                GateKind::Not => {
+                    cc0[i] = cc1[g.fanin()[0].index()].saturating_add(1).min(INF);
+                    cc1[i] = cc0[g.fanin()[0].index()].saturating_add(1).min(INF);
+                }
+                GateKind::And | GateKind::Nand => {
+                    let all1: u32 = g
+                        .fanin()
+                        .iter()
+                        .map(f1)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        .saturating_add(1)
+                        .min(INF);
+                    let any0: u32 = g.fanin().iter().map(f0).min().unwrap_or(INF).saturating_add(1).min(INF);
+                    if g.kind() == GateKind::And {
+                        cc0[i] = any0;
+                        cc1[i] = all1;
+                    } else {
+                        cc0[i] = all1;
+                        cc1[i] = any0;
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let all0: u32 = g
+                        .fanin()
+                        .iter()
+                        .map(f0)
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        .saturating_add(1)
+                        .min(INF);
+                    let any1: u32 = g.fanin().iter().map(f1).min().unwrap_or(INF).saturating_add(1).min(INF);
+                    if g.kind() == GateKind::Or {
+                        cc0[i] = all0;
+                        cc1[i] = any1;
+                    } else {
+                        cc0[i] = any1;
+                        cc1[i] = all0;
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Dynamic programming over pins: cost of achieving even /
+                    // odd parity across the fanins.
+                    let mut even = 0u32; // cost of parity 0 so far
+                    let mut odd = INF; // cost of parity 1 so far
+                    for f in g.fanin() {
+                        let (z, o) = (cc0[f.index()], cc1[f.index()]);
+                        let new_even = even.saturating_add(z).min(odd.saturating_add(o)).min(INF);
+                        let new_odd = even.saturating_add(o).min(odd.saturating_add(z)).min(INF);
+                        even = new_even;
+                        odd = new_odd;
+                    }
+                    let (e, o) = (
+                        even.saturating_add(1).min(INF),
+                        odd.saturating_add(1).min(INF),
+                    );
+                    if g.kind() == GateKind::Xor {
+                        cc0[i] = e;
+                        cc1[i] = o;
+                    } else {
+                        cc0[i] = o;
+                        cc1[i] = e;
+                    }
+                }
+            }
+        }
+
+        // Backward pass: observability.
+        let mut co = vec![INF; n];
+        for &o in netlist.outputs() {
+            co[o.index()] = 0;
+        }
+        for &id in order.iter().rev() {
+            let g = netlist.gate(id);
+            if g.kind().is_source() || g.kind().is_state() {
+                continue;
+            }
+            let out_co = co[id.index()];
+            if out_co >= INF {
+                continue;
+            }
+            for (pin, &f) in g.fanin().iter().enumerate() {
+                // Cost to observe fanin `pin` through this gate: the gate's
+                // own observability plus the cost of setting the *other*
+                // pins to non-controlling values (or matching parity for
+                // XOR-family).
+                let side_cost: u32 = match g.kind() {
+                    GateKind::And | GateKind::Nand => g
+                        .fanin()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != pin)
+                        .map(|(_, s)| cc1[s.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Or | GateKind::Nor => g
+                        .fanin()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != pin)
+                        .map(|(_, s)| cc0[s.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Xor | GateKind::Xnor => g
+                        .fanin()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| p != pin)
+                        .map(|(_, s)| cc0[s.index()].min(cc1[s.index()]))
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Not | GateKind::Buff => 0,
+                    _ => 0,
+                };
+                let cand = out_co.saturating_add(side_cost).saturating_add(1).min(INF);
+                if cand < co[f.index()] {
+                    co[f.index()] = cand;
+                }
+            }
+        }
+
+        Testability { cc0, cc1, co }
+    }
+
+    /// Effort to control the net to 0 (primary inputs have cost 1).
+    pub fn cc0(&self, net: GateId) -> u32 {
+        self.cc0[net.index()]
+    }
+
+    /// Effort to control the net to 1.
+    pub fn cc1(&self, net: GateId) -> u32 {
+        self.cc1[net.index()]
+    }
+
+    /// Effort to control the net to the given value.
+    pub fn cc(&self, net: GateId, value: bool) -> u32 {
+        if value {
+            self.cc1(net)
+        } else {
+            self.cc0(net)
+        }
+    }
+
+    /// Effort to observe the net at some primary output (outputs have cost
+    /// 0; unobservable nets saturate).
+    pub fn co(&self, net: GateId) -> u32 {
+        self.co[net.index()]
+    }
+
+    /// Combined detection-difficulty estimate for a stuck-at fault at a
+    /// net: controlling the opposite value plus observing the net.
+    pub fn fault_difficulty(&self, net: GateId, stuck: bool) -> u32 {
+        self.cc(net, !stuck).saturating_add(self.co(net))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::{bench, embedded};
+
+    #[test]
+    fn inputs_have_unit_controllability() {
+        let n = embedded::c17();
+        let t = Testability::analyze(&n);
+        for &pi in n.inputs() {
+            assert_eq!(t.cc0(pi), 1);
+            assert_eq!(t.cc1(pi), 1);
+        }
+    }
+
+    #[test]
+    fn and_gate_asymmetry() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n";
+        let n = bench::parse(src).unwrap();
+        let t = Testability::analyze(&n);
+        let y = n.find("y").unwrap();
+        // CC1 = 1+1+1+1 = 4 (all inputs to 1); CC0 = 1+1 = 2 (any input 0)
+        assert_eq!(t.cc1(y), 4);
+        assert_eq!(t.cc0(y), 2);
+    }
+
+    #[test]
+    fn deep_chains_cost_more() {
+        let src = "INPUT(a)\nOUTPUT(d)\nb = BUFF(a)\nc = BUFF(b)\nd = BUFF(c)\n";
+        let n = bench::parse(src).unwrap();
+        let t = Testability::analyze(&n);
+        let a = n.find("a").unwrap();
+        let d = n.find("d").unwrap();
+        assert!(t.cc1(d) > t.cc1(a));
+        // observability decreases toward outputs
+        assert!(t.co(a) > t.co(d));
+        assert_eq!(t.co(d), 0);
+    }
+
+    #[test]
+    fn outputs_observable_at_zero_cost() {
+        let n = embedded::c17();
+        let t = Testability::analyze(&n);
+        for &po in n.outputs() {
+            assert_eq!(t.co(po), 0);
+        }
+    }
+
+    #[test]
+    fn constant_nets_uncontrollable_to_opposite() {
+        let src = "OUTPUT(y)\nk = CONST1()\ny = BUFF(k)\n";
+        let n = bench::parse(src).unwrap();
+        let t = Testability::analyze(&n);
+        let k = n.find("k").unwrap();
+        assert_eq!(t.cc1(k), 0);
+        assert!(t.cc0(k) > 1_000_000);
+    }
+
+    #[test]
+    fn xor_parity_dp() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let t = Testability::analyze(&n);
+        let y = n.find("y").unwrap();
+        // parity 0: (0,0) or (1,1) -> 2; parity 1: (0,1)/(1,0) -> 2; +1
+        assert_eq!(t.cc0(y), 3);
+        assert_eq!(t.cc1(y), 3);
+    }
+
+    #[test]
+    fn difficulty_combines_both() {
+        let n = embedded::c17();
+        let t = Testability::analyze(&n);
+        let g = n.find("22").unwrap(); // a PO
+        assert_eq!(t.fault_difficulty(g, false), t.cc1(g));
+    }
+}

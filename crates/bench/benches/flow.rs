@@ -1,0 +1,67 @@
+//! End-to-end flow benchmarks: the full Figure-1 pipeline (ATPG → matrix →
+//! reduce → exact solve → trim) and its phases, plus the set-covering vs.
+//! GATSBY cost comparison the paper's §4 makes ("the number of fault
+//! simulations is reduced and limited to the construction of the Detection
+//! Matrix").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_genbench::{generate, profile};
+use reseed_core::{FlowConfig, Gatsby, GatsbyConfig, ReseedingFlow, TpgKind};
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10);
+    for name in ["tiny64", "mid256"] {
+        let p = profile(name).unwrap();
+        let n = generate(&p, 1);
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let cfg = FlowConfig::new(TpgKind::Adder).with_tau(31);
+        group.bench_with_input(BenchmarkId::new("set_covering", name), &(), |b, ()| {
+            b.iter(|| flow.run(&cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let p = profile("mid256").unwrap();
+    let n = generate(&p, 1);
+    let flow = ReseedingFlow::new(&n).unwrap();
+    let cfg = FlowConfig::new(TpgKind::Adder).with_tau(31);
+    let initial = flow.builder().build(&cfg);
+
+    let mut group = c.benchmark_group("flow_phases");
+    group.sample_size(10);
+    group.bench_function("build_initial_reseeding", |b| {
+        b.iter(|| flow.builder().build(&cfg))
+    });
+    group.bench_function("reduce_and_solve_and_trim", |b| {
+        b.iter(|| flow.finish(&cfg, &initial))
+    });
+    group.finish();
+}
+
+fn bench_vs_gatsby(c: &mut Criterion) {
+    let p = profile("tiny64").unwrap();
+    let n = generate(&p, 1);
+    let flow = ReseedingFlow::new(&n).unwrap();
+    let cfg = FlowConfig::new(TpgKind::Adder).with_tau(31);
+    let init = flow.builder().build(&cfg);
+    let gatsby = Gatsby::new(&n).unwrap();
+    let gcfg = GatsbyConfig {
+        tpg: TpgKind::Adder,
+        tau: 31,
+        ..GatsbyConfig::default()
+    };
+
+    let mut group = c.benchmark_group("sc_vs_gatsby_tiny64");
+    group.sample_size(10);
+    group.bench_function("set_covering_total", |b| b.iter(|| flow.run(&cfg)));
+    group.bench_function("gatsby_total", |b| {
+        b.iter(|| gatsby.run(&init.target_faults, &gcfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow, bench_phases, bench_vs_gatsby);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Solver benchmarks: exact branch-and-bound vs. greedy on
+//! detection-shaped instances of growing size (ablation B: the solution-
+//! quality/runtime trade-off behind the paper's choice of an exact solver
+//! on reduced matrices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_setcover::generate::detection_shaped;
+use fbist_setcover::{greedy_cover, reduce, ExactSolver, ReducerConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for &(rows, cols) in &[(30usize, 80usize), (60, 200), (120, 400)] {
+        let m = detection_shaped(rows, cols, 42);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{rows}x{cols}")),
+            &m,
+            |b, m| b.iter(|| greedy_cover(m)),
+        );
+        // exact solver on the *reduced* instance, as the flow runs it
+        let red = reduce(&m, &ReducerConfig::default());
+        let (sub, _) = m.submatrix(&red.active_rows, &red.active_cols);
+        group.bench_with_input(
+            BenchmarkId::new("exact_on_reduced", format!("{rows}x{cols}")),
+            &sub,
+            |b, sub| b.iter(|| ExactSolver::new().solve(sub)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_solution_quality(c: &mut Criterion) {
+    // not a timing benchmark: report the quality gap once, then time the
+    // exact solve that produced it
+    let m = detection_shaped(80, 250, 7);
+    let greedy_k = greedy_cover(&m).len();
+    let exact = ExactSolver::new().solve(&m);
+    eprintln!(
+        "# solution quality on 80x250: greedy {} vs exact {} (optimal: {})",
+        greedy_k,
+        exact.rows.len(),
+        exact.optimal
+    );
+    let mut group = c.benchmark_group("quality_instance");
+    group.sample_size(10);
+    group.bench_function("exact_80x250", |b| {
+        b.iter(|| ExactSolver::new().solve(&m))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_solution_quality);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! TPG expansion throughput (ablation C groundwork): how fast each
+//! generator family turns triplets into pattern sequences. Accumulator
+//! arithmetic is multi-word modular arithmetic; LFSRs are shift/parity;
+//! the weighted generator hashes per bit — this bench quantifies the
+//! differences across register widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_bits::BitVec;
+use fbist_tpg::{
+    AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, Triplet, WeightedTpg,
+};
+
+fn triplet(width: usize, tau: usize) -> Triplet {
+    Triplet::new(
+        BitVec::from_u64(width, 0x9E37_79B9),
+        BitVec::from_u64(width, 0x7F4A_7C15),
+        tau,
+    )
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpg_expand");
+    for &width in &[32usize, 128, 512] {
+        let t = triplet(width, 255);
+        let gens: Vec<(&str, Box<dyn PatternGenerator>)> = vec![
+            ("add", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Add))),
+            ("sub", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Sub))),
+            ("mul", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Mul))),
+            ("lfsr", Box::new(Lfsr::maximal(width))),
+            ("mplfsr", Box::new(MultiPolyLfsr::standard_bank(width, 8))),
+            ("wrand", Box::new(WeightedTpg::new(width, 4))),
+        ];
+        for (name, g) in gens {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("w{width}_tau255")),
+                &(&g, &t),
+                |b, (g, t)| b.iter(|| g.expand(t)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expand);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 2** of the paper: the trade-off between the number
+//! of reseedings and the global test length, on s1238 with the adder-based
+//! accumulator.
+//!
+//! In the paper, growing the test length from 5 427 to 15 551 drives the
+//! triplet count down 11 → 7 → 5 → 4 → … → 2. The shape to check is the
+//! monotone staircase: larger τ ⇒ longer (untrimmed) sequences ⇒ denser
+//! detection-matrix rows ⇒ fewer triplets, with diminishing returns.
+//!
+//! ```text
+//! cargo run -p fbist-bench --release --bin figure2 [-- --scale 0.35 \
+//!     --circuit s1238 --tpg add --taus 0,3,7,15,31,63,127,255,511]
+//! ```
+
+use fbist_bench::{build_circuit, flag, num};
+use fbist_genbench::profile;
+use reseed_core::{tradeoff_sweep, FlowConfig, TpgKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuit = flag(&args, "--circuit").unwrap_or_else(|| "s1238".to_owned());
+    let scale: f64 = num(&args, "--scale", 0.35);
+    let seed: u64 = num(&args, "--seed", 1);
+    let tpg = match flag(&args, "--tpg").as_deref() {
+        Some("sub") => TpgKind::Subtracter,
+        Some("mul") => TpgKind::Multiplier,
+        Some("lfsr") => TpgKind::Lfsr,
+        _ => TpgKind::Adder,
+    };
+    let taus: Vec<usize> = match flag(&args, "--taus") {
+        Some(list) => list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        None => vec![0, 3, 7, 15, 31, 63, 127, 255, 511],
+    };
+
+    let p = profile(&circuit)
+        .unwrap_or_else(|| panic!("unknown profile {circuit:?}"))
+        .scaled(scale);
+    let netlist = build_circuit(&p, seed);
+    let cfg = FlowConfig::new(tpg).with_seed(seed);
+    let curve = tradeoff_sweep(&netlist, &cfg, &taus).expect("combinational mimic");
+
+    println!(
+        "# Figure 2 — trade-off reseedings vs. test length ({circuit} @ scale {scale}, TPG {tpg}, seed {seed})"
+    );
+    println!("{:>6} {:>10} {:>12} {:>10}", "tau", "#triplets", "test_length", "rom_bits");
+    for pt in &curve {
+        println!(
+            "{:>6} {:>10} {:>12} {:>10}",
+            pt.tau, pt.triplets, pt.test_length, pt.rom_bits
+        );
+    }
+    // ASCII rendition of the staircase
+    let kmax = curve.iter().map(|p| p.triplets).max().unwrap_or(1);
+    println!("\n# triplets vs test length (each ▇ column ∝ #triplets)");
+    for pt in &curve {
+        let bar = "▇".repeat(pt.triplets * 40 / kmax.max(1));
+        println!("len {:>7} | {bar} {}", pt.test_length, pt.triplets);
+    }
+    // the paper's monotonicity claim
+    let monotone = curve.windows(2).all(|w| w[1].triplets <= w[0].triplets);
+    println!(
+        "\n# monotone non-increasing triplet count: {}",
+        if monotone { "yes (matches Figure 2)" } else { "NO — investigate" }
+    );
+}

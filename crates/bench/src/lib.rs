@@ -1,0 +1,109 @@
+//! Shared harness for the table/figure binaries and Criterion benches.
+//!
+//! The binaries in `src/bin/` regenerate the paper's evaluation artefacts:
+//!
+//! | Binary    | Artefact | Content |
+//! |-----------|----------|---------|
+//! | `table1`  | Table 1  | per circuit × TPG: `#Triplets` and `Test Length`, set covering vs. GATSBY-GA |
+//! | `table2`  | Table 2  | per circuit: initial matrix size; per TPG: residual size, #necessary, #solver triplets |
+//! | `figure2` | Figure 2 | τ sweep on s1238/adder: triplets vs. test length |
+//!
+//! All binaries accept `--scale F` (default 0.15) to size the synthetic
+//! mimics, `--seed N`, and `--circuits a,b,c` to restrict the suite; see
+//! `EXPERIMENTS.md` for the recorded runs.
+
+#![forbid(unsafe_code)]
+
+use fbist_genbench::{generate, paper_suite, profile, CircuitProfile};
+use fbist_netlist::Netlist;
+
+/// Default scale factor for the synthetic mimics used by the committed
+/// experiment tables (kept modest so the whole suite runs in minutes).
+pub const DEFAULT_SCALE: f64 = 0.15;
+
+/// Simple `--flag value` extraction from a raw argument list.
+pub fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a numeric flag with a default.
+pub fn num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The circuit selection for a harness run.
+pub struct Suite {
+    /// Profiles to run, already scaled.
+    pub profiles: Vec<CircuitProfile>,
+    /// Scale factor applied.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// Builds the circuit suite from CLI args: `--scale`, `--seed`,
+/// `--circuits c499,s1238,…` (default: the full 16-circuit paper suite).
+pub fn suite_from_args(args: &[String]) -> Suite {
+    let scale: f64 = num(args, "--scale", DEFAULT_SCALE);
+    let seed: u64 = num(args, "--seed", 1);
+    let names: Vec<String> = match flag(args, "--circuits") {
+        Some(list) => list.split(',').map(|s| s.trim().to_owned()).collect(),
+        None => paper_suite().iter().map(|p| p.name.clone()).collect(),
+    };
+    let profiles = names
+        .iter()
+        .filter_map(|n| profile(n))
+        .map(|p| p.scaled(scale))
+        .collect();
+    Suite {
+        profiles,
+        scale,
+        seed,
+    }
+}
+
+/// Generates the (full-scan combinational) netlist for a scaled profile.
+pub fn build_circuit(p: &CircuitProfile, seed: u64) -> Netlist {
+    generate(p, seed)
+}
+
+/// Strips a `@scale` suffix for display.
+pub fn display_name(p: &CircuitProfile) -> &str {
+    p.name.split('@').next().unwrap_or(&p.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_is_paper_suite() {
+        let s = suite_from_args(&[]);
+        assert_eq!(s.profiles.len(), 16);
+        assert!(s.profiles[0].name.starts_with("c499"));
+    }
+
+    #[test]
+    fn circuit_restriction() {
+        let args = vec!["--circuits".to_owned(), "c499,s1238".to_owned()];
+        let s = suite_from_args(&args);
+        assert_eq!(s.profiles.len(), 2);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let args = vec!["--scale".to_owned(), "0.5".to_owned()];
+        assert_eq!(num(&args, "--scale", 1.0), 0.5);
+        assert_eq!(num(&args, "--seed", 7u64), 7);
+    }
+
+    #[test]
+    fn display_strips_scale() {
+        let p = profile("c499").unwrap().scaled(0.5);
+        assert_eq!(display_name(&p), "c499");
+    }
+}

@@ -1,0 +1,143 @@
+//! Transposition between pattern-major and signal-major bit layouts.
+//!
+//! The logic and fault simulators in this workspace are *bit-parallel*: one
+//! `u64` word per circuit signal carries the value of that signal under up
+//! to 64 different input patterns simultaneously (bit `k` of the word is the
+//! value under pattern `k`). Test sets, on the other hand, are naturally
+//! stored pattern-major (one [`BitVec`] per pattern, one bit per input).
+//! This module converts between the two layouts.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_bits::{BitVec, pack};
+//!
+//! let patterns = vec![
+//!     "01".parse::<BitVec>().unwrap(), // pattern 0: in0=1, in1=0
+//!     "10".parse::<BitVec>().unwrap(), // pattern 1: in0=0, in1=1
+//! ];
+//! let words = pack::pack_patterns(2, &patterns);
+//! assert_eq!(words[0] & 0b11, 0b01); // in0 is 1 under pattern 0 only
+//! assert_eq!(words[1] & 0b11, 0b10); // in1 is 1 under pattern 1 only
+//! ```
+
+use crate::bitvec::BitVec;
+
+/// Maximum number of patterns per packed block.
+pub const BLOCK: usize = 64;
+
+/// Packs up to 64 patterns into signal-major words.
+///
+/// Returns one `u64` per input signal; bit `k` of word `i` is the value of
+/// input `i` under pattern `k`. Patterns beyond the first 64 are ignored.
+///
+/// # Panics
+///
+/// Panics if any pattern's width differs from `inputs`.
+pub fn pack_patterns(inputs: usize, patterns: &[BitVec]) -> Vec<u64> {
+    let mut words = vec![0u64; inputs];
+    for (k, p) in patterns.iter().take(BLOCK).enumerate() {
+        assert_eq!(p.width(), inputs, "pattern {k} width mismatch");
+        for (i, word) in words.iter_mut().enumerate() {
+            if p.get(i) {
+                *word |= 1u64 << k;
+            }
+        }
+    }
+    words
+}
+
+/// Splits a pattern set into packed blocks of at most 64 patterns each.
+///
+/// Returns `(blocks, patterns_in_last_block)`. An empty input yields no
+/// blocks.
+pub fn pack_blocks(inputs: usize, patterns: &[BitVec]) -> (Vec<Vec<u64>>, usize) {
+    let mut blocks = Vec::with_capacity(patterns.len().div_ceil(BLOCK));
+    let mut last = 0;
+    for chunk in patterns.chunks(BLOCK) {
+        blocks.push(pack_patterns(inputs, chunk));
+        last = chunk.len();
+    }
+    (blocks, last)
+}
+
+/// Unpacks signal-major words back into `count` pattern-major [`BitVec`]s.
+///
+/// Inverse of [`pack_patterns`] for `count <= 64`.
+pub fn unpack_patterns(words: &[u64], count: usize) -> Vec<BitVec> {
+    assert!(count <= BLOCK, "cannot unpack more than {BLOCK} patterns");
+    (0..count)
+        .map(|k| {
+            let mut p = BitVec::zeros(words.len());
+            for (i, &w) in words.iter().enumerate() {
+                if (w >> k) & 1 == 1 {
+                    p.set(i, true);
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// A mask with the low `n` bits set — selects the valid pattern lanes of a
+/// partially filled block.
+///
+/// ```
+/// assert_eq!(fbist_bits::pack::lane_mask(64), u64::MAX);
+/// assert_eq!(fbist_bits::pack::lane_mask(3), 0b111);
+/// assert_eq!(fbist_bits::pack::lane_mask(0), 0);
+/// ```
+#[inline]
+pub const fn lane_mask(n: usize) -> u64 {
+    if n >= BLOCK {
+        u64::MAX
+    } else if n == 0 {
+        0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let patterns: Vec<BitVec> = (0..10u64).map(|v| BitVec::from_u64(7, v * 37)).collect();
+        let words = pack_patterns(7, &patterns);
+        let back = unpack_patterns(&words, 10);
+        assert_eq!(back, patterns);
+    }
+
+    #[test]
+    fn pack_blocks_chunks() {
+        let patterns: Vec<BitVec> = (0..130u64).map(|v| BitVec::from_u64(5, v)).collect();
+        let (blocks, last) = pack_blocks(5, &patterns);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(last, 2);
+        let back = unpack_patterns(&blocks[2], last);
+        assert_eq!(back[0], patterns[128]);
+        assert_eq!(back[1], patterns[129]);
+    }
+
+    #[test]
+    fn empty_pattern_set() {
+        let (blocks, last) = pack_blocks(4, &[]);
+        assert!(blocks.is_empty());
+        assert_eq!(last, 0);
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63).count_ones(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let p = vec![BitVec::zeros(3)];
+        let _ = pack_patterns(4, &p);
+    }
+}

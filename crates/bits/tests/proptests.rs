@@ -1,0 +1,207 @@
+//! Property-based tests for the bit-vector arithmetic and cube algebra.
+//!
+//! These check the algebraic laws the rest of the workspace relies on:
+//! modular arithmetic must behave exactly like a hardware register, and
+//! cube merge/compatibility must be a proper meet-semilattice.
+
+use fbist_bits::{BitMatrix, BitVec, Cube, Trit};
+use proptest::prelude::*;
+
+/// Strategy: a width in [1, 200] and two raw word seeds.
+fn wv2() -> impl Strategy<Value = (usize, Vec<u64>, Vec<u64>)> {
+    (1usize..200).prop_flat_map(|w| {
+        let nw = w.div_ceil(64);
+        (
+            Just(w),
+            proptest::collection::vec(any::<u64>(), nw),
+            proptest::collection::vec(any::<u64>(), nw),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((w, a, b) in wv2()) {
+        let a = BitVec::from_words(w, &a);
+        let b = BitVec::from_words(w, &b);
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip((w, a, b) in wv2()) {
+        let a = BitVec::from_words(w, &a);
+        let b = BitVec::from_words(w, &b);
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero((w, a, _b) in wv2()) {
+        let a = BitVec::from_words(w, &a);
+        prop_assert!(a.wrapping_add(&a.wrapping_neg()).is_zero());
+    }
+
+    #[test]
+    fn mul_commutes((w, a, b) in wv2()) {
+        let a = BitVec::from_words(w, &a);
+        let b = BitVec::from_words(w, &b);
+        prop_assert_eq!(a.wrapping_mul(&b), b.wrapping_mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add((w, a, b) in wv2(), c in proptest::collection::vec(any::<u64>(), 4)) {
+        let a = BitVec::from_words(w, &a);
+        let b = BitVec::from_words(w, &b);
+        let c = BitVec::from_words(w, &c);
+        let lhs = c.wrapping_mul(&a.wrapping_add(&b));
+        let rhs = c.wrapping_mul(&a).wrapping_add(&c.wrapping_mul(&b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference(w in 1usize..120, x in any::<u64>(), y in any::<u64>()) {
+        // Reference: compute in u128 then truncate, valid whenever w <= 120
+        // and both operands fit in 60 bits so the product fits u128.
+        let x = x >> 4; // 60-bit
+        let y = y >> 4;
+        let a = BitVec::from_u64(w, x);
+        let b = BitVec::from_u64(w, y);
+        let got = a.wrapping_mul(&b);
+        let full = (x as u128) * (y as u128);
+        // compare low min(w,128) bits
+        for i in 0..w.min(128) {
+            let want = if w <= 64 {
+                // operands were truncated to w bits first
+                let xa = x & fbist_bits::tail_mask(w);
+                let yb = y & fbist_bits::tail_mask(w);
+                ((xa as u128 * yb as u128) >> i) & 1 == 1
+            } else {
+                (full >> i) & 1 == 1
+            };
+            prop_assert_eq!(got.get(i), want, "bit {} of {}x{} width {}", i, x, y, w);
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..150)) {
+        let v = BitVec::from_bits(&bits);
+        let s = v.to_string();
+        let back: BitVec = s.parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn shl_shr_inverse_on_lsb_cleared((w, a, _b) in wv2()) {
+        let mut a = BitVec::from_words(w, &a);
+        if w > 0 { a.set(w - 1, false); }
+        prop_assert_eq!(a.shl1().shr1(), a);
+    }
+
+    #[test]
+    fn hamming_triangle((w, a, b) in wv2(), c in proptest::collection::vec(any::<u64>(), 4)) {
+        let a = BitVec::from_words(w, &a);
+        let b = BitVec::from_words(w, &b);
+        let c = BitVec::from_words(w, &c);
+        let ab = a.hamming_distance(&b);
+        let bc = b.hamming_distance(&c);
+        let ac = a.hamming_distance(&c);
+        prop_assert!(ac <= ab + bc);
+    }
+}
+
+/// Strategy: a cube as a string over {0,1,X}.
+fn cube_str() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('X')], 1..80)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn cube_merge_symmetric(a in cube_str(), b in cube_str()) {
+        let a: Cube = a.parse().unwrap();
+        let mut bs = b;
+        // force same width
+        bs.truncate(a.width());
+        while bs.len() < a.width() { bs.push('X'); }
+        let b: Cube = bs.parse().unwrap();
+        prop_assert_eq!(a.is_compatible(&b), b.is_compatible(&a));
+        match (a.merge(&b), b.merge(&a)) {
+            (Some(x), Some(y)) => prop_assert_eq!(x, y),
+            (None, None) => {}
+            _ => prop_assert!(false, "merge not symmetric"),
+        }
+    }
+
+    #[test]
+    fn merged_cube_contains_common_patterns(a in cube_str()) {
+        let a: Cube = a.parse().unwrap();
+        // Any fill of a is contained in a.
+        let p0 = a.fill_const(false);
+        let p1 = a.fill_const(true);
+        prop_assert!(a.contains(&p0));
+        prop_assert!(a.contains(&p1));
+    }
+
+    #[test]
+    fn fill_with_is_contained(a in cube_str(), seed in any::<u64>()) {
+        let a: Cube = a.parse().unwrap();
+        let mut s = seed | 1;
+        let mut src = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let p = a.fill_with(&mut src);
+        prop_assert!(a.contains(&p));
+        prop_assert!(Cube::from_pattern(&p).is_fully_specified());
+    }
+
+    #[test]
+    fn cube_set_get_consistent(a in cube_str(), idx_frac in 0.0f64..1.0) {
+        let mut c: Cube = a.parse().unwrap();
+        let i = ((c.width() - 1) as f64 * idx_frac) as usize;
+        for t in [Trit::Zero, Trit::One, Trit::X] {
+            c.set(i, t);
+            prop_assert_eq!(c.get(i), t);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn matrix_subset_is_reflexive_transitive(
+        rows in 2usize..8, cols in 1usize..100, seed in any::<u64>()
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let mut m = BitMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if next() % 3 == 0 { m.set(r, c, true); }
+            }
+        }
+        for r in 0..rows {
+            prop_assert!(m.row_is_subset(r, r));
+        }
+        // transitivity spot check on the first three rows
+        if rows >= 3 && m.row_is_subset(0, 1) && m.row_is_subset(1, 2) {
+            prop_assert!(m.row_is_subset(0, 2));
+        }
+        // transpose involution
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn union_of_rows_covers_each_row(rows in 1usize..6, cols in 1usize..80, seed in any::<u64>()) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let mut m = BitMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if next() % 4 == 0 { m.set(r, c, true); }
+            }
+        }
+        let all: Vec<usize> = (0..rows).collect();
+        let u = m.union_of_rows(&all);
+        for r in 0..rows {
+            for c in m.cols_of_row(r) {
+                prop_assert!(u.get(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! `fbist` — command-line front end for the set-covering reseeding flow.
+//!
+//! ```text
+//! fbist gen <profile> [--scale F] [--seed N] [--out FILE]
+//! fbist stats <file.bench>
+//! fbist atpg <file.bench|profile> [--seed N]
+//! fbist reseed <file.bench|profile> [--tpg add|sub|mul|lfsr|mplfsr|wrand] [--tau N]
+//! fbist sweep <file.bench|profile> [--tpg KIND] [--taus 0,7,31,...]
+//! fbist compare <file.bench|profile> [--tpg KIND] [--tau N]
+//! fbist lp <file.bench|profile> [--tpg KIND] [--tau N]
+//! fbist profiles
+//! ```
+//!
+//! Circuits are either `.bench` files or built-in profile names
+//! (`fbist profiles` lists them). All subcommands are thin wrappers over
+//! the workspace libraries.
+
+use std::process::ExitCode;
+
+use fbist_atpg::{Atpg, AtpgConfig};
+use fbist_fault::FaultList;
+use fbist_genbench::{all_profiles, generate, profile};
+use fbist_netlist::{bench, full_scan, Netlist, NetlistStats};
+use fbist_setcover::lp;
+use reseed_core::{
+    export, tradeoff_sweep, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
+    ReseedingFlow, TpgKind,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fbist: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  fbist profiles
+  fbist gen <profile> [--scale F] [--seed N] [--out FILE]
+  fbist stats <circuit>
+  fbist atpg <circuit> [--seed N]
+  fbist reseed <circuit> [--tpg KIND] [--tau N] [--seed N] [--scale F]
+               [--csv FILE] [--rom FILE]
+  fbist sweep <circuit> [--tpg KIND] [--taus 0,7,31] [--scale F]
+  fbist compare <circuit> [--tpg KIND] [--tau N] [--scale F]
+  fbist lp <circuit> [--tpg KIND] [--tau N] [--scale F]
+
+<circuit> is a .bench file path or a built-in profile name.
+KIND is one of add, sub, mul, lfsr, mplfsr, wrand.";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "profiles" => cmd_profiles(),
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "atpg" => cmd_atpg(rest),
+        "reseed" => cmd_reseed(rest),
+        "sweep" => cmd_sweep(rest),
+        "compare" => cmd_compare(rest),
+        "lp" => cmd_lp(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_tpg(args: &[String]) -> Result<TpgKind, String> {
+    match flag(args, "--tpg").as_deref() {
+        None | Some("add") => Ok(TpgKind::Adder),
+        Some("sub") => Ok(TpgKind::Subtracter),
+        Some("mul") => Ok(TpgKind::Multiplier),
+        Some("lfsr") => Ok(TpgKind::Lfsr),
+        Some("mplfsr") => Ok(TpgKind::MultiPolyLfsr),
+        Some("wrand") => Ok(TpgKind::Weighted),
+        Some(other) => Err(format!("unknown TPG kind {other:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+    }
+}
+
+/// Loads a circuit: a `.bench` path, or a profile name (synthesised with
+/// `--scale` / `--seed`). Sequential netlists are full-scanned.
+fn load_circuit(args: &[String]) -> Result<Netlist, String> {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("missing circuit argument".into());
+    };
+    let scale: f64 = parse_num(args, "--scale", 1.0)?;
+    let seed: u64 = parse_num(args, "--seed", 1)?;
+    let n = if name.ends_with(".bench") || std::path::Path::new(name).exists() {
+        let text = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
+        bench::parse_named(&text, name).map_err(|e| format!("parsing {name}: {e}"))?
+    } else if let Some(p) = profile(name) {
+        generate(&p.scaled(scale), seed)
+    } else if let Some(n) = fbist_netlist::embedded::by_name(name) {
+        n
+    } else {
+        return Err(format!("no such file, profile or embedded circuit: {name:?}"));
+    };
+    Ok(if n.is_combinational() {
+        n
+    } else {
+        full_scan(&n).into_combinational()
+    })
+}
+
+// ------------------------------------------------------------- subcommands
+
+fn cmd_profiles() -> Result<(), String> {
+    println!("built-in circuit profiles (paper suite + extras):");
+    for p in all_profiles() {
+        println!("  {p}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("gen: missing profile name".into());
+    };
+    let p = profile(name).ok_or_else(|| format!("no such profile {name:?}"))?;
+    let scale: f64 = parse_num(args, "--scale", 1.0)?;
+    let seed: u64 = parse_num(args, "--seed", 1)?;
+    let n = generate(&p.scaled(scale), seed);
+    let text = bench::to_bench(&n);
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {} ({})", path, NetlistStats::of(&n));
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let s = NetlistStats::of(&n);
+    println!("{s}");
+    println!("  by kind:");
+    for (kind, count) in &s.by_kind {
+        println!("    {kind:<6} {count}");
+    }
+    let faults = FaultList::full(&n);
+    let collapsed = FaultList::collapsed(&n);
+    println!(
+        "  faults: {} full, {} collapsed ({:.1} %)",
+        faults.len(),
+        collapsed.len(),
+        100.0 * collapsed.len() as f64 / faults.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let faults = FaultList::collapsed(&n);
+    let atpg = Atpg::new(&n).map_err(|e| e.to_string())?;
+    let mut cfg = AtpgConfig::default();
+    cfg.seed = parse_num(args, "--seed", cfg.seed)?;
+    let r = atpg.run(&faults, &cfg);
+    println!(
+        "{}: {} patterns, coverage {:.2} % (efficiency {:.2} %), {} random-phase detections, {} PODEM tests, {} untestable, {} aborted",
+        n.name(),
+        r.patterns.len(),
+        100.0 * r.coverage(),
+        100.0 * r.efficiency(),
+        r.random_detected,
+        r.podem_tests,
+        r.untestable.len(),
+        r.aborted.len()
+    );
+    Ok(())
+}
+
+fn cmd_reseed(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let tpg = parse_tpg(args)?;
+    let tau: usize = parse_num(args, "--tau", 31)?;
+    let cfg = FlowConfig::new(tpg).with_tau(tau);
+    let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
+    let report = flow.run(&cfg);
+    if let Some(path) = flag(args, "--csv") {
+        std::fs::write(&path, export::to_csv(&report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote triplet CSV to {path}");
+    }
+    if let Some(path) = flag(args, "--rom") {
+        std::fs::write(&path, export::to_rom_image(&report))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote seed ROM image to {path}");
+    }
+    println!("{report}");
+    println!(
+        "  matrix {}x{} → residual {}x{} in {} iterations ({} dominated rows)",
+        report.initial_triplets,
+        report.target_faults,
+        report.residual.0,
+        report.residual.1,
+        report.reduction_iterations,
+        report.dominated_rows
+    );
+    println!(
+        "  solver: {} nodes, optimal: {}; ROM: {} bits",
+        report.solver_nodes,
+        report.solution_optimal,
+        report.rom_bits()
+    );
+    for (i, t) in report.selected.iter().enumerate() {
+        println!(
+            "  triplet {:>3} {} τ={:<5} +{} faults, {} patterns{}",
+            i,
+            if t.necessary { "[necessary]" } else { "[solver]   " },
+            t.triplet.tau(),
+            t.new_faults,
+            t.test_length,
+            if i < 8 { format!("  {}", t.triplet) } else { String::new() }
+        );
+        if i == 16 && report.selected.len() > 18 {
+            println!("  … {} more", report.selected.len() - 17);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let tpg = parse_tpg(args)?;
+    let taus: Vec<usize> = match flag(args, "--taus") {
+        None => vec![0, 3, 7, 15, 31, 63, 127, 255],
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad τ {s:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let cfg = FlowConfig::new(tpg);
+    let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
+    println!("{} [{}] — reseedings vs. test length (Figure 2)", n.name(), tpg);
+    println!("  {:>6} {:>10} {:>12} {:>10}", "tau", "#triplets", "test_length", "rom_bits");
+    for p in curve {
+        println!(
+            "  {:>6} {:>10} {:>12} {:>10}",
+            p.tau, p.triplets, p.test_length, p.rom_bits
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let tpg = parse_tpg(args)?;
+    let tau: usize = parse_num(args, "--tau", 31)?;
+    let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
+    let report = flow.run(&FlowConfig::new(tpg).with_tau(tau));
+    let gatsby = Gatsby::new(&n).map_err(|e| e.to_string())?;
+    let init = flow.builder().build(&FlowConfig::new(tpg).with_tau(tau));
+    let gres = gatsby.run(
+        &init.target_faults,
+        &GatsbyConfig {
+            tpg,
+            tau,
+            ..GatsbyConfig::default()
+        },
+    );
+    println!("{} [{}] τ={tau} — set covering vs GATSBY-GA (Table 1)", n.name(), tpg);
+    println!(
+        "  set covering : {:>4} triplets, test length {:>7}, covers {}/{}",
+        report.triplet_count(),
+        report.test_length(),
+        report.covered_faults,
+        report.target_faults
+    );
+    println!(
+        "  gatsby       : {:>4} triplets, test length {:>7}, covers {}/{} ({} fault-sim calls)",
+        gres.triplet_count(),
+        gres.test_length,
+        gres.covered,
+        gres.target_faults,
+        gres.fault_sim_calls
+    );
+    let delta = gres.triplet_count() as i64 - report.triplet_count() as i64;
+    println!("  improvement  : {delta:+} triplets");
+    Ok(())
+}
+
+fn cmd_lp(args: &[String]) -> Result<(), String> {
+    let n = load_circuit(args)?;
+    let tpg = parse_tpg(args)?;
+    let tau: usize = parse_num(args, "--tau", 31)?;
+    let cfg = FlowConfig::new(tpg).with_tau(tau);
+    let builder = InitialReseedingBuilder::new(&n).map_err(|e| e.to_string())?;
+    let init = builder.build(&cfg);
+    print!("{}", lp::to_lp(&init.matrix));
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! End-to-end smoke tests of the `fbist` binary.
+
+use std::process::Command;
+
+fn fbist(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fbist"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn profiles_lists_paper_suite() {
+    let (ok, stdout, _) = fbist(&["profiles"]);
+    assert!(ok);
+    for name in ["c499", "s1238", "s15850"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn reseed_on_embedded_circuit() {
+    let (ok, stdout, _) = fbist(&["reseed", "c17", "--tau", "7"]);
+    assert!(ok);
+    assert!(stdout.contains("triplets"), "{stdout}");
+    assert!(stdout.contains("necessary"), "{stdout}");
+}
+
+#[test]
+fn gen_stats_roundtrip_through_file() {
+    let dir = std::env::temp_dir().join("fbist_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.bench");
+    let path_s = path.to_str().unwrap();
+    let (ok, _, stderr) = fbist(&["gen", "tiny64", "--out", path_s]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = fbist(&["stats", path_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("faults:"), "{stdout}");
+}
+
+#[test]
+fn sweep_prints_monotone_table() {
+    let (ok, stdout, _) = fbist(&["sweep", "tiny64", "--taus", "0,7,31"]);
+    assert!(ok);
+    assert!(stdout.contains("test_length"));
+    // three data rows
+    let rows = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .count();
+    assert_eq!(rows, 3, "{stdout}");
+}
+
+#[test]
+fn lp_export_is_wellformed() {
+    let (ok, stdout, _) = fbist(&["lp", "c17", "--tau", "3"]);
+    assert!(ok);
+    assert!(stdout.starts_with("/* set covering:"));
+    assert!(stdout.contains("min:"));
+    assert!(stdout.contains(">= 1;"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, stderr) = fbist(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_circuit_fails_cleanly() {
+    let (ok, _, stderr) = fbist(&["reseed", "c99999"]);
+    assert!(!ok);
+    assert!(stderr.contains("no such"), "{stderr}");
+}
+
+#[test]
+fn rom_and_csv_exports() {
+    let dir = std::env::temp_dir().join("fbist_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("sol.csv");
+    let rom = dir.join("sol.rom");
+    let (ok, _, stderr) = fbist(&[
+        "reseed",
+        "c17",
+        "--tau",
+        "7",
+        "--csv",
+        csv.to_str().unwrap(),
+        "--rom",
+        rom.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("index,kind,delta,theta,tau"));
+    let rom_text = std::fs::read_to_string(&rom).unwrap();
+    assert!(rom_text.starts_with("# seed ROM:"));
+}

@@ -1,0 +1,118 @@
+//! Area-overhead model.
+//!
+//! The paper's cost argument: the number of reseedings "strongly impacts
+//! the applicability of the approach since it affects the area overhead"
+//! needed to store the triplets (e.g. in a ROM). This module quantifies
+//! that overhead for both storage schemes §4 discusses:
+//!
+//! * **per-triplet `τ`** — store `(δ, θ, τᵢ)` per triplet: shortest test
+//!   time, widest ROM words;
+//! * **common `τ`** — store only `(δ, θ)` and run every triplet for the
+//!   longest trimmed length: narrower ROM, longer test.
+
+use fbist_tpg::Triplet;
+
+/// How evolution lengths are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AreaModel {
+    /// One `τ` field per triplet (paper's default accounting).
+    #[default]
+    PerTripletTau,
+    /// A single global `τ` (= max over the solution); only seeds stored.
+    CommonTau,
+}
+
+/// ROM bits for one triplet under a given `τ`-field width.
+///
+/// ```
+/// use fbist_tpg::Triplet;
+/// use fbist_bits::BitVec;
+/// use reseed_core::rom_bits_per_triplet;
+///
+/// let t = Triplet::new(BitVec::zeros(32), BitVec::zeros(32), 100);
+/// assert_eq!(rom_bits_per_triplet(&t, 7), 71);
+/// ```
+pub fn rom_bits_per_triplet(triplet: &Triplet, tau_bits: usize) -> usize {
+    triplet.rom_bits(tau_bits)
+}
+
+/// Total ROM bits for a reseeding solution.
+///
+/// For [`AreaModel::PerTripletTau`] the `τ` field is sized for the largest
+/// trimmed `τ` in the solution; for [`AreaModel::CommonTau`] no per-triplet
+/// `τ` is stored at all (the single global value lives in control logic).
+///
+/// Returns 0 for an empty solution.
+///
+/// ```
+/// use fbist_tpg::Triplet;
+/// use fbist_bits::BitVec;
+/// use reseed_core::{solution_rom_bits, AreaModel};
+///
+/// let ts = vec![
+///     Triplet::new(BitVec::zeros(8), BitVec::zeros(8), 3),
+///     Triplet::new(BitVec::zeros(8), BitVec::zeros(8), 12),
+/// ];
+/// // per-triplet: 2 × (8+8+4) = 40; common τ: 2 × 16 = 32
+/// assert_eq!(solution_rom_bits(&ts, AreaModel::PerTripletTau), 40);
+/// assert_eq!(solution_rom_bits(&ts, AreaModel::CommonTau), 32);
+/// ```
+pub fn solution_rom_bits(triplets: &[Triplet], model: AreaModel) -> usize {
+    if triplets.is_empty() {
+        return 0;
+    }
+    match model {
+        AreaModel::PerTripletTau => {
+            let max_tau = triplets.iter().map(Triplet::tau).max().unwrap_or(0);
+            let tau_bits = bits_for(max_tau);
+            triplets.iter().map(|t| t.rom_bits(tau_bits)).sum()
+        }
+        AreaModel::CommonTau => triplets.iter().map(|t| t.rom_bits(0)).sum(),
+    }
+}
+
+/// Bits needed to represent `value` (at least 1).
+fn bits_for(value: usize) -> usize {
+    (usize::BITS - value.leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_bits::BitVec;
+
+    fn t(width: usize, tau: usize) -> Triplet {
+        Triplet::new(BitVec::zeros(width), BitVec::zeros(width), tau)
+    }
+
+    #[test]
+    fn per_triplet_accounts_tau_field() {
+        let sol = vec![t(16, 5), t(16, 200)];
+        // max τ = 200 → 8 bits; 2 × (16+16+8) = 80
+        assert_eq!(solution_rom_bits(&sol, AreaModel::PerTripletTau), 80);
+    }
+
+    #[test]
+    fn common_tau_is_smaller() {
+        let sol = vec![t(16, 5), t(16, 200), t(16, 31)];
+        assert!(
+            solution_rom_bits(&sol, AreaModel::CommonTau)
+                < solution_rom_bits(&sol, AreaModel::PerTripletTau)
+        );
+    }
+
+    #[test]
+    fn empty_solution_is_free() {
+        assert_eq!(solution_rom_bits(&[], AreaModel::PerTripletTau), 0);
+        assert_eq!(solution_rom_bits(&[], AreaModel::CommonTau), 0);
+    }
+
+    #[test]
+    fn bits_for_edges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

@@ -1,0 +1,218 @@
+//! The Initial Reseeding Builder (paper §3.1).
+//!
+//! Builds the starting solution `T` — one triplet per ATPG pattern — and
+//! the Detection Matrix by fault-simulating each triplet's expanded test
+//! set against the target fault list `F`.
+
+use fbist_atpg::{Atpg, AtpgResult};
+use fbist_bits::BitVec;
+use fbist_fault::{FaultList, FaultSimulator};
+use fbist_netlist::Netlist;
+use fbist_setcover::DetectionMatrix;
+use fbist_sim::SimError;
+use fbist_tpg::{PatternGenerator, Triplet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::FlowConfig;
+
+/// The initial reseeding `T` plus everything derived while building it.
+#[derive(Debug)]
+pub struct InitialReseeding {
+    /// One triplet per ATPG pattern (`θᵢ = pᵢ`, random `δᵢ`, common `τ`).
+    pub triplets: Vec<Triplet>,
+    /// The Detection Matrix: rows = triplets, columns = faults of `F`.
+    pub matrix: DetectionMatrix,
+    /// The target fault list `F` (the faults `ATPGTS` covers).
+    pub target_faults: FaultList,
+    /// The collapsed universe `F` was selected from.
+    pub universe_size: usize,
+    /// The raw ATPG outcome (pattern set, coverage, untestable faults…).
+    pub atpg: AtpgResult,
+}
+
+impl InitialReseeding {
+    /// Number of initial triplets `M` (= `|ATPGTS|`).
+    pub fn triplet_count(&self) -> usize {
+        self.triplets.len()
+    }
+}
+
+/// Builder for [`InitialReseeding`]. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use reseed_core::{FlowConfig, InitialReseedingBuilder, TpgKind};
+///
+/// let netlist = embedded::c17();
+/// let config = FlowConfig::new(TpgKind::Adder).with_tau(3);
+/// let initial = InitialReseedingBuilder::new(&netlist)?.build(&config);
+/// assert_eq!(initial.matrix.rows(), initial.triplet_count());
+/// assert_eq!(initial.matrix.cols(), initial.target_faults.len());
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct InitialReseedingBuilder {
+    netlist: Netlist,
+    atpg: Atpg,
+    fsim: FaultSimulator,
+}
+
+impl InitialReseedingBuilder {
+    /// Creates a builder for a combinational netlist (apply
+    /// [`full_scan`](fbist_netlist::full_scan) to sequential ones first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] or [`SimError::Netlist`]
+    /// like the underlying engines.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        Ok(InitialReseedingBuilder {
+            netlist: netlist.clone(),
+            atpg: Atpg::new(netlist)?,
+            fsim: FaultSimulator::new(netlist)?,
+        })
+    }
+
+    /// Runs ATPG and constructs the initial reseeding and Detection Matrix
+    /// for the configured TPG and `τ`.
+    pub fn build(&self, config: &FlowConfig) -> InitialReseeding {
+        // 1. ATPG: the paper's (ATPGTS, F). F is defined as the faults the
+        //    ATPG test set covers — untestable/aborted faults are excluded,
+        //    exactly like TestGen's "guarantees complete covering of F".
+        let universe = FaultList::collapsed(&self.netlist);
+        let atpg_result = self.atpg.run(&universe, &config.atpg);
+        let target_faults = universe.subset(&atpg_result.detected_ids());
+
+        // 2. One triplet per ATPG pattern, expanded and fault-simulated.
+        let tpg = config.tpg.build(self.netlist.inputs().len());
+        let (triplets, matrix) = self.matrix_for(
+            &tpg,
+            &atpg_result.patterns,
+            &target_faults,
+            config.tau,
+            config.seed,
+        );
+
+        InitialReseeding {
+            triplets,
+            matrix,
+            target_faults,
+            universe_size: universe.len(),
+            atpg: atpg_result,
+        }
+    }
+
+    /// Builds triplets and the Detection Matrix for an explicit pattern
+    /// list and fault list (used by the τ-sweep to reuse one ATPG run).
+    pub fn matrix_for(
+        &self,
+        tpg: &dyn PatternGenerator,
+        patterns: &[BitVec],
+        target_faults: &FaultList,
+        tau: usize,
+        seed: u64,
+    ) -> (Vec<Triplet>, DetectionMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7129_55D1);
+        let mut word = move || rng.gen::<u64>();
+        let mut triplets = Vec::with_capacity(patterns.len());
+        let mut rows = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            let triplet = tpg.seed_for(p, &mut word).with_tau(tau);
+            let ts = tpg.expand(&triplet);
+            rows.push(self.fsim.detects(&ts, target_faults));
+            triplets.push(triplet);
+        }
+        (
+            triplets,
+            DetectionMatrix::from_rows(target_faults.len(), rows),
+        )
+    }
+
+    /// The underlying fault simulator (shared with the flow for trimming).
+    pub fn fault_simulator(&self) -> &FaultSimulator {
+        &self.fsim
+    }
+
+    /// The bound netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpgKind;
+    use fbist_netlist::embedded;
+
+    fn build(tpg: TpgKind, tau: usize) -> InitialReseeding {
+        let n = embedded::c17();
+        let cfg = FlowConfig::new(tpg).with_tau(tau);
+        InitialReseedingBuilder::new(&n).unwrap().build(&cfg)
+    }
+
+    #[test]
+    fn rows_cover_all_target_faults() {
+        for tpg in [TpgKind::Adder, TpgKind::Lfsr, TpgKind::Weighted] {
+            let init = build(tpg, 4);
+            let all: Vec<usize> = (0..init.matrix.rows()).collect();
+            assert!(
+                init.matrix.is_cover(&all),
+                "{tpg}: initial reseeding must cover F by construction"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_zero_matrix_is_pattern_dictionary() {
+        // with τ=0 each row is exactly the detection set of its ATPG pattern
+        let n = embedded::c17();
+        let cfg = FlowConfig::new(TpgKind::Adder).with_tau(0);
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        let init = b.build(&cfg);
+        let dict = b
+            .fault_simulator()
+            .dictionary(&init.atpg.patterns, &init.target_faults);
+        for r in 0..init.matrix.rows() {
+            for c in 0..init.matrix.cols() {
+                assert_eq!(init.matrix.get(r, c), dict.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_tau_never_loses_coverage_per_row() {
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        let cfg0 = FlowConfig::new(TpgKind::Adder).with_tau(0);
+        let init0 = b.build(&cfg0);
+        let cfg8 = FlowConfig::new(TpgKind::Adder).with_tau(8);
+        let init8 = b.build(&cfg8);
+        // row weights can only grow with τ (pattern 0 is identical)
+        for r in 0..init0.matrix.rows() {
+            assert!(
+                init8.matrix.row_weight(r) >= init0.matrix.row_weight(r),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_dimensions() {
+        let init = build(TpgKind::Subtracter, 2);
+        assert_eq!(init.matrix.rows(), init.atpg.patterns.len());
+        assert_eq!(init.matrix.cols(), init.target_faults.len());
+        assert!(init.universe_size >= init.target_faults.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(TpgKind::Adder, 3);
+        let b = build(TpgKind::Adder, 3);
+        assert_eq!(a.triplets, b.triplets);
+        assert_eq!(a.matrix.row_major(), b.matrix.row_major());
+    }
+}

@@ -1,0 +1,175 @@
+//! Flow configuration.
+
+use fbist_atpg::AtpgConfig;
+use fbist_setcover::SolveConfig;
+use fbist_tpg::{AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, WeightedTpg};
+
+/// Which hardware module plays the TPG role.
+///
+/// The paper's Table 1 evaluates the first three (accumulator-based
+/// adder / subtracter / multiplier); the LFSR variants connect the method
+/// back to classical reseeding, and the weighted generator is an ablation
+/// extra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpgKind {
+    /// Adder-based accumulator (`S ← S + θ`).
+    Adder,
+    /// Subtracter-based accumulator (`S ← S − θ`).
+    Subtracter,
+    /// Multiplier-based accumulator (`S ← S × θ`).
+    Multiplier,
+    /// Single-polynomial maximal LFSR.
+    Lfsr,
+    /// Multiple-polynomial LFSR (θ selects among 8 polynomials).
+    MultiPolyLfsr,
+    /// Weighted pseudo-random generator (unbiased, 4/8).
+    Weighted,
+}
+
+impl TpgKind {
+    /// The paper's three accumulator TPGs, in Table-1 column order.
+    pub const PAPER: [TpgKind; 3] = [TpgKind::Adder, TpgKind::Subtracter, TpgKind::Multiplier];
+
+    /// Short name used in reports (`add`, `sub`, `mul`, `lfsr`, `mplfsr`,
+    /// `wrand`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TpgKind::Adder => "add",
+            TpgKind::Subtracter => "sub",
+            TpgKind::Multiplier => "mul",
+            TpgKind::Lfsr => "lfsr",
+            TpgKind::MultiPolyLfsr => "mplfsr",
+            TpgKind::Weighted => "wrand",
+        }
+    }
+
+    /// Instantiates the generator at the given register width.
+    pub fn build(self, width: usize) -> Box<dyn PatternGenerator> {
+        match self {
+            TpgKind::Adder => Box::new(AccumulatorTpg::new(width, AccumulatorOp::Add)),
+            TpgKind::Subtracter => Box::new(AccumulatorTpg::new(width, AccumulatorOp::Sub)),
+            TpgKind::Multiplier => Box::new(AccumulatorTpg::new(width, AccumulatorOp::Mul)),
+            TpgKind::Lfsr => Box::new(Lfsr::maximal(width.max(2))),
+            TpgKind::MultiPolyLfsr => Box::new(MultiPolyLfsr::standard_bank(width.max(2), 8)),
+            TpgKind::Weighted => Box::new(WeightedTpg::new(width, 4)),
+        }
+    }
+}
+
+impl std::fmt::Display for TpgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the full reseeding flow.
+///
+/// Construct with [`FlowConfig::new`] and customise with the `with_*`
+/// builder methods:
+///
+/// ```
+/// use reseed_core::{FlowConfig, TpgKind};
+///
+/// let cfg = FlowConfig::new(TpgKind::Multiplier)
+///     .with_tau(63)
+///     .with_seed(42)
+///     .with_trim(false);
+/// assert_eq!(cfg.tau, 63);
+/// assert_eq!(cfg.tpg.name(), "mul");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// TPG selection.
+    pub tpg: TpgKind,
+    /// Evolution length applied to every initial triplet ("experimentally
+    /// tuned and fixed equal for all the triplets of T", §3.1).
+    pub tau: usize,
+    /// Master RNG seed (drives ATPG, random δ, fills).
+    pub seed: u64,
+    /// ATPG settings used to produce `ATPGTS` and `F`.
+    pub atpg: AtpgConfig,
+    /// Set-covering pipeline settings (reductions + engine).
+    pub solve: SolveConfig,
+    /// Trim each selected triplet's tail patterns that add no coverage
+    /// (the paper's global-test-length accounting, §4).
+    pub trim: bool,
+}
+
+impl FlowConfig {
+    /// Default flow for a TPG: `τ = 31`, reductions + exact solver, trim on.
+    pub fn new(tpg: TpgKind) -> FlowConfig {
+        FlowConfig {
+            tpg,
+            tau: 31,
+            seed: 0xDA7E_2001,
+            atpg: AtpgConfig::default(),
+            solve: SolveConfig::default(),
+            trim: true,
+        }
+    }
+
+    /// Sets the evolution length `τ`.
+    pub fn with_tau(mut self, tau: usize) -> FlowConfig {
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> FlowConfig {
+        self.seed = seed;
+        self.atpg.seed = seed ^ 0xA7B6;
+        self
+    }
+
+    /// Enables/disables tail trimming.
+    pub fn with_trim(mut self, trim: bool) -> FlowConfig {
+        self.trim = trim;
+        self
+    }
+
+    /// Replaces the set-covering configuration.
+    pub fn with_solve(mut self, solve: SolveConfig) -> FlowConfig {
+        self.solve = solve;
+        self
+    }
+
+    /// Replaces the ATPG configuration.
+    pub fn with_atpg(mut self, atpg: AtpgConfig) -> FlowConfig {
+        self.atpg = atpg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_chain() {
+        let cfg = FlowConfig::new(TpgKind::Lfsr).with_tau(7).with_seed(5);
+        assert_eq!(cfg.tau, 7);
+        assert_eq!(cfg.seed, 5);
+        assert!(cfg.trim);
+    }
+
+    #[test]
+    fn tpg_kinds_build_at_width() {
+        for kind in [
+            TpgKind::Adder,
+            TpgKind::Subtracter,
+            TpgKind::Multiplier,
+            TpgKind::Lfsr,
+            TpgKind::MultiPolyLfsr,
+            TpgKind::Weighted,
+        ] {
+            let g = kind.build(24);
+            assert_eq!(g.width(), 24, "{kind}");
+        }
+    }
+
+    #[test]
+    fn paper_order() {
+        let names: Vec<&str> = TpgKind::PAPER.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["add", "sub", "mul"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Exporting reseeding solutions.
+//!
+//! A reseeding solution ultimately becomes the contents of a small on-chip
+//! ROM (the paper's area-overhead object). This module serialises a
+//! [`ReseedingReport`] into the two formats a downstream flow needs:
+//!
+//! * [`to_csv`] — human/tool readable table of the triplets;
+//! * [`to_rom_image`] — the packed seed ROM as hex words, one triplet per
+//!   line, `δ · θ · τ` fields concatenated LSB-first exactly as a seed
+//!   decompressor would read them.
+
+use fbist_bits::BitVec;
+
+use crate::report::ReseedingReport;
+
+/// Serialises the solution as CSV:
+/// `index,kind,delta_hex,theta_hex,tau,new_faults,test_length`.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use reseed_core::{export, FlowConfig, ReseedingFlow, TpgKind};
+///
+/// let flow = ReseedingFlow::new(&embedded::c17())?;
+/// let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(7));
+/// let csv = export::to_csv(&report);
+/// assert!(csv.starts_with("index,kind,delta,theta,tau,new_faults,test_length"));
+/// assert_eq!(csv.lines().count(), 1 + report.triplet_count());
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+pub fn to_csv(report: &ReseedingReport) -> String {
+    let mut out = String::from("index,kind,delta,theta,tau,new_faults,test_length\n");
+    for (i, t) in report.selected.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{:x},{:x},{},{},{}\n",
+            if t.necessary { "necessary" } else { "solver" },
+            t.triplet.delta(),
+            t.triplet.theta(),
+            t.triplet.tau(),
+            t.new_faults,
+            t.test_length
+        ));
+    }
+    out
+}
+
+/// Serialises the seed ROM: one hex word per line, each the concatenation
+/// `τ ++ θ ++ δ` (δ in the least-significant bits), every line
+/// `2·w + tau_bits` bits wide, where `tau_bits` accommodates the largest
+/// `τ` in the solution (minimum 1 bit). A header comment records the
+/// geometry so the image is self-describing.
+///
+/// Returns the empty ROM header for an empty solution.
+pub fn to_rom_image(report: &ReseedingReport) -> String {
+    let width = report
+        .selected
+        .first()
+        .map(|t| t.triplet.width())
+        .unwrap_or(0);
+    let max_tau = report
+        .selected
+        .iter()
+        .map(|t| t.triplet.tau())
+        .max()
+        .unwrap_or(0);
+    let tau_bits = (usize::BITS - max_tau.leading_zeros()).max(1) as usize;
+    let word_bits = 2 * width + tau_bits;
+    let mut out = format!(
+        "# seed ROM: {} words x {} bits (delta[{width}] | theta[{width}] | tau[{tau_bits}])\n",
+        report.selected.len(),
+        word_bits
+    );
+    for t in &report.selected {
+        let tau_field = BitVec::from_u64(tau_bits, t.triplet.tau() as u64);
+        let word = t.triplet.delta().concat(t.triplet.theta()).concat(&tau_field);
+        out.push_str(&format!("{word:x}\n"));
+    }
+    out
+}
+
+/// Parses a ROM image produced by [`to_rom_image`] back into
+/// `(delta, theta, tau)` triples — the decompressor side, used for
+/// round-trip validation.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_rom_image(image: &str) -> Result<Vec<(BitVec, BitVec, usize)>, String> {
+    let mut lines = image.lines();
+    let header = lines.next().ok_or("empty image")?;
+    // header: "# seed ROM: N words x B bits (delta[W] | theta[W] | tau[T])"
+    let w: usize = header
+        .split("delta[")
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed header: missing delta width")?;
+    let tau_bits: usize = header
+        .split("tau[")
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed header: missing tau width")?;
+    let word_bits = 2 * w + tau_bits;
+    let mut out = Vec::new();
+    for (no, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut word = BitVec::zeros(word_bits);
+        let mut bit = 0usize;
+        for c in line.chars().rev() {
+            let nibble = c.to_digit(16).ok_or(format!("line {}: bad hex {c:?}", no + 2))?;
+            for k in 0..4 {
+                if bit + k < word_bits && (nibble >> k) & 1 == 1 {
+                    word.set(bit + k, true);
+                }
+            }
+            bit += 4;
+        }
+        let mut delta = BitVec::zeros(w);
+        let mut theta = BitVec::zeros(w);
+        let mut tau = 0usize;
+        for i in 0..w {
+            delta.set(i, word.get(i));
+            theta.set(i, word.get(w + i));
+        }
+        for i in 0..tau_bits {
+            if word.get(2 * w + i) {
+                tau |= 1 << i;
+            }
+        }
+        out.push((delta, theta, tau));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FlowConfig, TpgKind};
+    use crate::flow::ReseedingFlow;
+    use fbist_netlist::embedded;
+
+    fn sample_report() -> ReseedingReport {
+        let flow = ReseedingFlow::new(&embedded::c17()).unwrap();
+        flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(7))
+    }
+
+    #[test]
+    fn csv_row_per_triplet() {
+        let r = sample_report();
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), 1 + r.triplet_count());
+        assert!(csv.contains("necessary") || csv.contains("solver"));
+    }
+
+    #[test]
+    fn rom_image_roundtrip() {
+        let r = sample_report();
+        let image = to_rom_image(&r);
+        let parsed = parse_rom_image(&image).unwrap();
+        assert_eq!(parsed.len(), r.triplet_count());
+        for (got, sel) in parsed.iter().zip(&r.selected) {
+            assert_eq!(&got.0, sel.triplet.delta(), "delta");
+            assert_eq!(&got.1, sel.triplet.theta(), "theta");
+            assert_eq!(got.2, sel.triplet.tau(), "tau");
+        }
+    }
+
+    #[test]
+    fn rom_header_is_self_describing() {
+        let r = sample_report();
+        let image = to_rom_image(&r);
+        let header = image.lines().next().unwrap();
+        assert!(header.contains("delta[5]"), "{header}");
+        assert!(header.contains(&format!("{} words", r.triplet_count())));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_rom_image("").is_err());
+        assert!(parse_rom_image("# seed ROM: 1 words x 11 bits (delta[5] | theta[5] | tau[1])\nzz\n").is_err());
+    }
+}

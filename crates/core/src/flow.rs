@@ -1,0 +1,237 @@
+//! The end-to-end reseeding flow (paper Figure 1).
+
+use fbist_netlist::Netlist;
+use fbist_setcover::{reduce, solve_with, ReductionEvent};
+use fbist_sim::SimError;
+use fbist_tpg::Triplet;
+
+use crate::builder::{InitialReseeding, InitialReseedingBuilder};
+use crate::config::FlowConfig;
+use crate::report::{ReseedingReport, SelectedTriplet};
+
+/// The complete set-covering reseeding flow:
+/// ATPG → initial reseeding → Detection Matrix → reduction → exact solve →
+/// trimming → [`ReseedingReport`].
+///
+/// See the [crate-level documentation](crate) for a quickstart.
+#[derive(Debug)]
+pub struct ReseedingFlow {
+    builder: InitialReseedingBuilder,
+}
+
+impl ReseedingFlow {
+    /// Creates a flow for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying engines (sequential or
+    /// invalid netlists).
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        Ok(ReseedingFlow {
+            builder: InitialReseedingBuilder::new(netlist)?,
+        })
+    }
+
+    /// Access to the initial-reseeding builder (for callers that want the
+    /// intermediate artefacts).
+    pub fn builder(&self) -> &InitialReseedingBuilder {
+        &self.builder
+    }
+
+    /// Runs the full flow.
+    pub fn run(&self, config: &FlowConfig) -> ReseedingReport {
+        let initial = self.builder.build(config);
+        self.finish(config, &initial)
+    }
+
+    /// Runs reduction, solving and trimming on a prebuilt initial
+    /// reseeding (lets the τ-sweep reuse one ATPG run and one matrix
+    /// build per τ).
+    pub fn finish(&self, config: &FlowConfig, initial: &InitialReseeding) -> ReseedingReport {
+        // ---- Matrix Reducer + solver (LINGO stand-in) -------------------
+        let reduction = reduce(&initial.matrix, &config.solve.reducer);
+        let solution = solve_with(&initial.matrix, &config.solve, &reduction);
+        let dominated_rows = reduction
+            .log
+            .iter()
+            .filter(|e| matches!(e, ReductionEvent::RowDominated { .. }))
+            .count();
+
+        // ---- order: necessary triplets first, then solver triplets ------
+        let mut order: Vec<(usize, bool)> = Vec::new();
+        for &r in solution.necessary() {
+            order.push((r, true));
+        }
+        for &r in solution.solver_chosen() {
+            order.push((r, false));
+        }
+
+        // ---- trimming & incremental accounting (paper §4) ---------------
+        let tpg = config.tpg.build(self.builder.netlist().inputs().len());
+        let fsim = self.builder.fault_simulator();
+        let mut remaining_ids: Vec<fbist_fault::FaultId> =
+            initial.target_faults.iter().map(|(id, _)| id).collect();
+        let mut selected = Vec::with_capacity(order.len());
+        let mut covered = 0usize;
+        for (row, necessary) in order {
+            let triplet = &initial.triplets[row];
+            let ts = tpg.expand(triplet);
+            let remaining = initial.target_faults.subset(&remaining_ids);
+            let res = fsim.run(&ts, &remaining);
+            let new_faults = res.detected_count();
+            let (kept_triplet, test_length): (Triplet, usize) = if config.trim {
+                let useful = res.useful_prefix_len();
+                // a solver-selected triplet always adds coverage, but be
+                // defensive: keep at least pattern 0
+                let len = useful.max(1);
+                (triplet.with_tau(len - 1), len)
+            } else {
+                (triplet.clone(), ts.len())
+            };
+            covered += new_faults;
+            // drop the newly covered faults from the remaining list
+            let mut next_remaining = Vec::with_capacity(remaining_ids.len() - new_faults);
+            for (sub, &orig) in remaining_ids.iter().enumerate() {
+                if !res.detected.get(sub) {
+                    next_remaining.push(orig);
+                }
+            }
+            remaining_ids = next_remaining;
+            selected.push(SelectedTriplet {
+                triplet: kept_triplet,
+                necessary,
+                new_faults,
+                test_length,
+            });
+        }
+
+        ReseedingReport {
+            circuit: self.builder.netlist().name().to_owned(),
+            tpg: config.tpg.name().to_owned(),
+            tau: config.tau,
+            selected,
+            initial_triplets: initial.triplet_count(),
+            target_faults: initial.target_faults.len(),
+            fault_universe: initial.universe_size,
+            residual: solution.residual_size(),
+            reduction_iterations: solution.reduction_iterations(),
+            dominated_rows,
+            solution_optimal: solution.is_optimal(),
+            solver_nodes: solution.solver_nodes(),
+            covered_faults: covered,
+            atpg_coverage: initial.atpg.coverage(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpgKind;
+    use fbist_genbench::{generate, profile};
+    use fbist_netlist::embedded;
+
+    #[test]
+    fn c17_flow_covers_everything_minimally() {
+        let n = embedded::c17();
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(7));
+        assert!(report.covers_all_target_faults());
+        assert!(report.solution_optimal);
+        assert!(report.triplet_count() >= 1);
+        assert!(report.triplet_count() <= report.initial_triplets);
+        assert!(report.test_length() >= report.triplet_count());
+    }
+
+    #[test]
+    fn bigger_tau_gives_fewer_or_equal_triplets_usually() {
+        // the Figure-2 monotonicity: more evolution → denser rows → the
+        // optimal cover cannot grow beyond the τ=0 optimum on c17
+        let n = embedded::c17();
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let k0 = flow
+            .run(&FlowConfig::new(TpgKind::Adder).with_tau(0))
+            .triplet_count();
+        let k31 = flow
+            .run(&FlowConfig::new(TpgKind::Adder).with_tau(31))
+            .triplet_count();
+        assert!(k31 <= k0, "{k31} > {k0}");
+    }
+
+    #[test]
+    fn trimming_reduces_or_keeps_test_length() {
+        let p = profile("tiny64").unwrap();
+        let n = generate(&p, 2);
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let trimmed = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(15));
+        let full = flow.run(
+            &FlowConfig::new(TpgKind::Adder)
+                .with_tau(15)
+                .with_trim(false),
+        );
+        assert!(trimmed.test_length() <= full.test_length());
+        assert_eq!(trimmed.triplet_count(), full.triplet_count());
+        assert!(trimmed.covers_all_target_faults());
+        assert!(full.covers_all_target_faults());
+    }
+
+    #[test]
+    fn all_tpg_kinds_complete_the_flow() {
+        let n = embedded::c17();
+        let flow = ReseedingFlow::new(&n).unwrap();
+        for kind in [
+            TpgKind::Adder,
+            TpgKind::Subtracter,
+            TpgKind::Multiplier,
+            TpgKind::Lfsr,
+            TpgKind::MultiPolyLfsr,
+            TpgKind::Weighted,
+        ] {
+            let report = flow.run(&FlowConfig::new(kind).with_tau(7));
+            assert!(report.covers_all_target_faults(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn synthetic_circuit_flow_and_table2_fields() {
+        let p = profile("tiny64").unwrap();
+        let n = generate(&p, 5);
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(31));
+        assert!(report.covers_all_target_faults());
+        assert_eq!(
+            report.triplet_count(),
+            report.necessary_count() + report.solver_count()
+        );
+        assert!(report.fault_universe >= report.target_faults);
+        assert!(report.reduction_iterations >= 1);
+        assert!(report.to_string().contains(&p.name));
+    }
+
+    #[test]
+    fn necessary_triplets_come_first() {
+        let p = profile("tiny64").unwrap();
+        let n = generate(&p, 3);
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(15));
+        let first_solver = report.selected.iter().position(|t| !t.necessary);
+        if let Some(pos) = first_solver {
+            assert!(
+                report.selected[pos..].iter().all(|t| !t.necessary),
+                "necessary triplets must precede solver triplets"
+            );
+        }
+    }
+
+    #[test]
+    fn every_selected_triplet_contributes() {
+        // minimality implies every triplet covers at least one fault no
+        // earlier triplet covered (the paper's Definition of minimal)
+        let n = embedded::c17();
+        let flow = ReseedingFlow::new(&n).unwrap();
+        let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(7));
+        for (i, t) in report.selected.iter().enumerate() {
+            assert!(t.new_faults > 0, "triplet {i} adds nothing");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The reseeding report — everything Tables 1 and 2 need.
+
+use std::fmt;
+
+use fbist_tpg::Triplet;
+
+/// One selected triplet with its trimmed evolution length and incremental
+/// coverage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedTriplet {
+    /// The triplet, with `τ` trimmed to its useful prefix when trimming is
+    /// enabled.
+    pub triplet: Triplet,
+    /// `true` if forced by essentiality ("necessary"), `false` if chosen by
+    /// the solver.
+    pub necessary: bool,
+    /// Faults of `F` this triplet newly covers in application order
+    /// (the paper's `ΔFC`с numerator).
+    pub new_faults: usize,
+    /// Patterns this triplet contributes to the global test length.
+    pub test_length: usize,
+}
+
+/// Full result of one [`ReseedingFlow`](crate::ReseedingFlow) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReseedingReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// TPG name (`add` / `sub` / `mul` / …).
+    pub tpg: String,
+    /// Evolution length `τ` configured for the initial triplets.
+    pub tau: usize,
+    /// The selected triplets, necessary first, in application order.
+    pub selected: Vec<SelectedTriplet>,
+    /// Size of the initial reseeding `M` (= |ATPGTS|).
+    pub initial_triplets: usize,
+    /// Size of the target fault list `F`.
+    pub target_faults: usize,
+    /// Collapsed fault-universe size (`F` ⊆ universe).
+    pub fault_universe: usize,
+    /// Residual matrix size handed to the solver (rows, cols); `(0, 0)`
+    /// when the reduction closed the matrix.
+    pub residual: (usize, usize),
+    /// Reduction fixpoint iterations.
+    pub reduction_iterations: usize,
+    /// Rows deleted by dominance during reduction.
+    pub dominated_rows: usize,
+    /// `true` if the solver proved its part minimal.
+    pub solution_optimal: bool,
+    /// Search nodes spent by the exact solver.
+    pub solver_nodes: u64,
+    /// Faults of `F` covered by the final solution (must equal
+    /// `target_faults`).
+    pub covered_faults: usize,
+    /// ATPG fault coverage over the collapsed universe.
+    pub atpg_coverage: f64,
+}
+
+impl ReseedingReport {
+    /// The paper's `#Triplets`: cardinality of the reseeding solution `N`.
+    pub fn triplet_count(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Number of necessary (essential) triplets — Table 2's "necessary".
+    pub fn necessary_count(&self) -> usize {
+        self.selected.iter().filter(|t| t.necessary).count()
+    }
+
+    /// Number of solver-chosen triplets — Table 2's "LINGO" column.
+    pub fn solver_count(&self) -> usize {
+        self.selected.iter().filter(|t| !t.necessary).count()
+    }
+
+    /// The paper's global `Test Length`: Σ per-triplet trimmed lengths.
+    pub fn test_length(&self) -> usize {
+        self.selected.iter().map(|t| t.test_length).sum()
+    }
+
+    /// `true` when every fault of `F` is covered by the solution (the
+    /// correctness invariant of the whole flow).
+    pub fn covers_all_target_faults(&self) -> bool {
+        self.covered_faults == self.target_faults
+    }
+
+    /// ROM bits to store the solution (per-triplet `τ` field sized for the
+    /// configured `τ`).
+    pub fn rom_bits(&self) -> usize {
+        let tau_bits = usize::BITS as usize - self.tau.leading_zeros() as usize;
+        self.selected
+            .iter()
+            .map(|t| t.triplet.rom_bits(tau_bits.max(1)))
+            .sum()
+    }
+}
+
+impl fmt::Display for ReseedingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] τ={}: {} triplets ({} necessary + {} solver), test length {}, {} / {} faults",
+            self.circuit,
+            self.tpg,
+            self.tau,
+            self.triplet_count(),
+            self.necessary_count(),
+            self.solver_count(),
+            self.test_length(),
+            self.covered_faults,
+            self.target_faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_bits::BitVec;
+
+    fn sample() -> ReseedingReport {
+        let t = Triplet::new(BitVec::zeros(4), BitVec::ones(4), 3);
+        ReseedingReport {
+            circuit: "test".into(),
+            tpg: "add".into(),
+            tau: 3,
+            selected: vec![
+                SelectedTriplet {
+                    triplet: t.clone(),
+                    necessary: true,
+                    new_faults: 10,
+                    test_length: 4,
+                },
+                SelectedTriplet {
+                    triplet: t,
+                    necessary: false,
+                    new_faults: 5,
+                    test_length: 2,
+                },
+            ],
+            initial_triplets: 20,
+            target_faults: 15,
+            fault_universe: 30,
+            residual: (3, 2),
+            reduction_iterations: 2,
+            dominated_rows: 12,
+            solution_optimal: true,
+            solver_nodes: 9,
+            covered_faults: 15,
+            atpg_coverage: 0.5,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.triplet_count(), 2);
+        assert_eq!(r.necessary_count(), 1);
+        assert_eq!(r.solver_count(), 1);
+        assert_eq!(r.test_length(), 6);
+        assert!(r.covers_all_target_faults());
+        // τ=3 → 2 bits; 2 triplets × (4 + 4 + 2) = 20
+        assert_eq!(r.rom_bits(), 20);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = sample().to_string();
+        assert!(s.contains("2 triplets"));
+        assert!(s.contains("test length 6"));
+        assert!(s.contains("15 / 15"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The reseedings-vs-test-length trade-off (paper Figure 2).
+
+use fbist_netlist::Netlist;
+use fbist_sim::SimError;
+
+use crate::builder::InitialReseedingBuilder;
+use crate::config::FlowConfig;
+use crate::flow::ReseedingFlow;
+use crate::report::ReseedingReport;
+
+/// One point of the trade-off curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Evolution length used for the initial triplets.
+    pub tau: usize,
+    /// Triplets in the optimal solution (`#Reseedings`).
+    pub triplets: usize,
+    /// Global (trimmed) test length.
+    pub test_length: usize,
+    /// ROM bits for the solution.
+    pub rom_bits: usize,
+    /// The full report for this point.
+    pub report: ReseedingReport,
+}
+
+/// Sweeps the evolution length `τ` and returns one optimal reseeding per
+/// value — the data behind the paper's Figure 2 (on s1238 with the adder
+/// accumulator, raising the test length from 5 427 to 15 551 drops the
+/// solution from 11 to 2 triplets).
+///
+/// The ATPG run is shared across all τ values; per τ only the Detection
+/// Matrix and the covering computation are redone, which is exactly the
+/// efficiency argument §4 makes against simulation-driven methods.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from flow construction.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use reseed_core::{tradeoff_sweep, FlowConfig, TpgKind};
+///
+/// let curve = tradeoff_sweep(
+///     &embedded::c17(),
+///     &FlowConfig::new(TpgKind::Adder),
+///     &[0, 7, 31],
+/// )?;
+/// assert_eq!(curve.len(), 3);
+/// // triplet counts never increase as τ grows
+/// assert!(curve.windows(2).all(|w| w[1].triplets <= w[0].triplets));
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+pub fn tradeoff_sweep(
+    netlist: &Netlist,
+    config: &FlowConfig,
+    taus: &[usize],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let flow = ReseedingFlow::new(netlist)?;
+    // one shared ATPG run
+    let base = flow.builder().build(config);
+    let tpg = config.tpg.build(netlist.inputs().len());
+    let mut out = Vec::with_capacity(taus.len());
+    for &tau in taus {
+        let initial = rebuild_at_tau(flow.builder(), &base, &tpg, tau, config);
+        let cfg = config.clone().with_tau(tau);
+        let report = flow.finish(&cfg, &initial);
+        out.push(SweepPoint {
+            tau,
+            triplets: report.triplet_count(),
+            test_length: report.test_length(),
+            rom_bits: report.rom_bits(),
+            report,
+        });
+    }
+    Ok(out)
+}
+
+fn rebuild_at_tau(
+    builder: &InitialReseedingBuilder,
+    base: &crate::builder::InitialReseeding,
+    tpg: &dyn fbist_tpg::PatternGenerator,
+    tau: usize,
+    config: &FlowConfig,
+) -> crate::builder::InitialReseeding {
+    let (triplets, matrix) = builder.matrix_for(
+        tpg,
+        &base.atpg.patterns,
+        &base.target_faults,
+        tau,
+        config.seed,
+    );
+    crate::builder::InitialReseeding {
+        triplets,
+        matrix,
+        target_faults: base.target_faults.clone(),
+        universe_size: base.universe_size,
+        atpg: base.atpg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpgKind;
+    use fbist_genbench::{generate, profile};
+
+    #[test]
+    fn sweep_is_monotone_in_triplets() {
+        let n = generate(&profile("tiny64").unwrap(), 4);
+        let curve = tradeoff_sweep(
+            &n,
+            &FlowConfig::new(TpgKind::Adder),
+            &[0, 3, 15, 63],
+        )
+        .unwrap();
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].triplets <= w[0].triplets,
+                "triplets must not increase with τ: {} → {}",
+                w[0].triplets,
+                w[1].triplets
+            );
+        }
+        for p in &curve {
+            assert!(p.report.covers_all_target_faults(), "τ={}", p.tau);
+        }
+    }
+
+    #[test]
+    fn tau_zero_equals_atpg_length() {
+        // with τ=0 and trimming, every selected triplet contributes exactly
+        // one pattern → test length = #triplets
+        let n = generate(&profile("tiny64").unwrap(), 4);
+        let curve = tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Adder), &[0]).unwrap();
+        assert_eq!(curve[0].test_length, curve[0].triplets);
+    }
+
+    #[test]
+    fn sweep_points_carry_reports() {
+        let n = generate(&profile("tiny64").unwrap(), 4);
+        let curve = tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Lfsr), &[7]).unwrap();
+        assert_eq!(curve[0].report.tau, 7);
+        assert_eq!(curve[0].rom_bits, curve[0].report.rom_bits());
+    }
+}

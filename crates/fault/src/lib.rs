@@ -1,0 +1,46 @@
+//! Single-stuck-at fault modelling and bit-parallel fault simulation.
+//!
+//! The paper's detection matrix has one column per stuck-at fault of the
+//! unit under test and one row per reseeding triplet; cell `(i, j)` is 1
+//! iff triplet `i`'s expanded test set detects fault `j`. This crate
+//! provides everything needed to fill that matrix:
+//!
+//! * [`Fault`], [`FaultSite`], [`FaultList`] — the classical single
+//!   stuck-at fault universe over gate output nets (stems) and gate input
+//!   pins (branches);
+//! * [`collapse`] — structural equivalence collapsing (union-find over the
+//!   textbook gate rules), which shrinks the universe ~2.5× without losing
+//!   information;
+//! * [`FaultSimulator`] — a 64-way bit-parallel, event-driven ("single
+//!   fault propagation") fault simulator with fault dropping, plus a
+//!   detection-dictionary builder.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_netlist::embedded;
+//! use fbist_fault::{FaultList, FaultSimulator};
+//! use fbist_bits::BitVec;
+//!
+//! let c17 = embedded::c17();
+//! let faults = FaultList::collapsed(&c17);
+//! let sim = FaultSimulator::new(&c17)?;
+//! // Exhaustive patterns detect every c17 fault.
+//! let patterns: Vec<BitVec> = (0..32u64).map(|v| BitVec::from_u64(5, v)).collect();
+//! let detected = sim.detects(&patterns, &faults);
+//! assert_eq!(detected.count_ones(), faults.len());
+//! # Ok::<(), fbist_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+pub mod collapse;
+mod model;
+pub mod reference;
+mod sim;
+
+pub use checkpoint::checkpoint_faults;
+pub use model::{Fault, FaultId, FaultList, FaultSite};
+pub use sim::{FaultSimResult, FaultSimulator};

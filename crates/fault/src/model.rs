@@ -1,0 +1,280 @@
+//! The single-stuck-at fault model.
+
+use std::fmt;
+
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+/// Location of a stuck-at fault.
+///
+/// Faults live either on a gate's output net (the *stem*) or on one of its
+/// input pins (a *branch*). Branch faults are distinct from the stem fault
+/// of the driving net whenever that net fans out to more than one pin —
+/// which is exactly why both kinds are needed for a complete universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output net of a gate.
+    GateOutput(GateId),
+    /// Input pin `pin` of gate `gate`.
+    GateInput {
+        /// The gate whose input pin is faulty.
+        gate: GateId,
+        /// Pin index into the gate's fanin list.
+        pin: u32,
+    },
+}
+
+/// A single stuck-at fault: a [`FaultSite`] stuck at a constant value.
+///
+/// ```
+/// use fbist_fault::{Fault, FaultSite};
+/// use fbist_netlist::GateId;
+///
+/// let f = Fault::stuck_at(FaultSite::GateOutput(GateId::from_index(3)), true);
+/// assert!(f.stuck_value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    site: FaultSite,
+    stuck: bool,
+}
+
+impl Fault {
+    /// Creates a stuck-at-`value` fault at `site`.
+    pub fn stuck_at(site: FaultSite, value: bool) -> Fault {
+        Fault { site, stuck: value }
+    }
+
+    /// The fault location.
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// The stuck value (`false` = stuck-at-0, `true` = stuck-at-1).
+    pub fn stuck_value(&self) -> bool {
+        self.stuck
+    }
+
+    /// Renders the fault with circuit names, e.g. `y/1 (in-pin 0 of z)`.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let v = self.stuck as u8;
+        match self.site {
+            FaultSite::GateOutput(g) => format!("{}/{v}", netlist.gate(g).name()),
+            FaultSite::GateInput { gate, pin } => {
+                let src = netlist.gate(gate).fanin()[pin as usize];
+                format!(
+                    "{}->{}.{pin}/{v}",
+                    netlist.gate(src).name(),
+                    netlist.gate(gate).name()
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.stuck as u8;
+        match self.site {
+            FaultSite::GateOutput(g) => write!(f, "{g}/{v}"),
+            FaultSite::GateInput { gate, pin } => write!(f, "{gate}.{pin}/{v}"),
+        }
+    }
+}
+
+/// Dense identifier of a fault within a [`FaultList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultId(pub(crate) u32);
+
+impl FaultId {
+    /// The raw index into the owning list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (only meaningful for the same list).
+    pub fn from_index(i: usize) -> FaultId {
+        FaultId(i as u32)
+    }
+}
+
+/// An ordered list of target faults — the paper's fault list `F`.
+///
+/// Build the complete universe with [`FaultList::full`], or the
+/// equivalence-collapsed universe (the usual ATPG target) with
+/// [`FaultList::collapsed`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Creates an empty list.
+    pub fn new() -> FaultList {
+        FaultList { faults: Vec::new() }
+    }
+
+    /// Builds the complete single-stuck-at universe of a netlist: both
+    /// polarities on every gate output net and on every gate input pin.
+    ///
+    /// DFF gates are skipped (fault-model them after
+    /// [`full_scan`](fbist_netlist::full_scan), where they become input /
+    /// output nets of the combinational core).
+    pub fn full(netlist: &Netlist) -> FaultList {
+        let mut faults = Vec::new();
+        for (id, g) in netlist.iter() {
+            if g.kind() == GateKind::Dff {
+                continue;
+            }
+            for v in [false, true] {
+                faults.push(Fault::stuck_at(FaultSite::GateOutput(id), v));
+            }
+            if g.kind() == GateKind::Input {
+                continue;
+            }
+            for pin in 0..g.fanin().len() {
+                for v in [false, true] {
+                    faults.push(Fault::stuck_at(
+                        FaultSite::GateInput {
+                            gate: id,
+                            pin: pin as u32,
+                        },
+                        v,
+                    ));
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Builds the equivalence-collapsed universe (see [`crate::collapse`]).
+    pub fn collapsed(netlist: &Netlist) -> FaultList {
+        crate::collapse::collapse(netlist, &FaultList::full(netlist)).representatives
+    }
+
+    /// Builds a list from explicit faults.
+    pub fn from_faults(faults: Vec<Fault>) -> FaultList {
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: FaultId) -> Fault {
+        self.faults[id.index()]
+    }
+
+    /// Iterates over `(id, fault)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultId, Fault)> + '_ {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId(i as u32), f))
+    }
+
+    /// The faults as a slice.
+    pub fn as_slice(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Returns a sublist containing only the selected faults (in the given
+    /// order).
+    pub fn subset(&self, ids: &[FaultId]) -> FaultList {
+        FaultList {
+            faults: ids.iter().map(|&i| self.get(i)).collect(),
+        }
+    }
+
+    /// Finds the id of a fault, if present.
+    pub fn position(&self, fault: &Fault) -> Option<FaultId> {
+        self.faults
+            .iter()
+            .position(|f| f == fault)
+            .map(|i| FaultId(i as u32))
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<T: IntoIterator<Item = Fault>>(iter: T) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::embedded;
+
+    #[test]
+    fn full_universe_size_c17() {
+        // c17: 5 inputs + 6 NAND gates, every NAND has 2 pins.
+        // outputs: 11 gates * 2 = 22; pins: 6 gates * 2 pins * 2 = 24.
+        let n = embedded::c17();
+        let f = FaultList::full(&n);
+        assert_eq!(f.len(), 22 + 24);
+    }
+
+    #[test]
+    fn dffs_are_skipped() {
+        let n = embedded::johnson3();
+        let f = FaultList::full(&n);
+        assert!(f
+            .iter()
+            .all(|(_, fault)| match fault.site() {
+                FaultSite::GateOutput(g) => n.gate(g).kind() != GateKind::Dff,
+                FaultSite::GateInput { gate, .. } => n.gate(gate).kind() != GateKind::Dff,
+            }));
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let n = embedded::c17();
+        let f = FaultList::full(&n);
+        for (id, fault) in f.iter() {
+            assert_eq!(f.get(id), fault);
+            assert_eq!(f.position(&fault), Some(id));
+        }
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let n = embedded::c17();
+        let f = FaultList::full(&n);
+        let ids = vec![FaultId(3), FaultId(0), FaultId(7)];
+        let sub = f.subset(&ids);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.get(FaultId(0)), f.get(FaultId(3)));
+        assert_eq!(sub.get(FaultId(1)), f.get(FaultId(0)));
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let n = embedded::c17();
+        let f = FaultList::full(&n);
+        let texts: Vec<String> = f.iter().map(|(_, fault)| fault.describe(&n)).collect();
+        assert!(texts.iter().any(|t| t == "1/0"));
+        assert!(texts.iter().any(|t| t.contains("->")));
+    }
+}

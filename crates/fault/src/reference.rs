@@ -1,0 +1,147 @@
+//! Naive single-pattern fault simulation, used as a correctness oracle.
+//!
+//! This module re-implements fault detection in the most direct way
+//! possible — full circuit re-evaluation per (fault, pattern) pair with
+//! scalar booleans — so the optimised event-driven simulator in
+//! [`crate::FaultSimulator`] has an independent reference to be checked
+//! against in tests and benchmarks. Do not use it for real workloads; it is
+//! orders of magnitude slower by design.
+
+use fbist_bits::BitVec;
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+use crate::model::{Fault, FaultSite};
+
+/// Evaluates every net of a combinational netlist for one pattern, with an
+/// optional fault injected. Returns per-net boolean values.
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential/invalid or the pattern width is
+/// wrong.
+pub fn evaluate(netlist: &Netlist, pattern: &BitVec, fault: Option<Fault>) -> Vec<bool> {
+    assert!(netlist.is_combinational(), "reference sim is combinational-only");
+    assert_eq!(pattern.width(), netlist.inputs().len(), "pattern width");
+    let order = netlist.levelize().expect("valid netlist");
+    let mut values = vec![false; netlist.gate_count()];
+    for (k, &pi) in netlist.inputs().iter().enumerate() {
+        values[pi.index()] = pattern.get(k);
+    }
+    // apply output fault on a primary input immediately
+    if let Some(f) = fault {
+        if let FaultSite::GateOutput(g) = f.site() {
+            if netlist.gate(g).kind() == GateKind::Input {
+                values[g.index()] = f.stuck_value();
+            }
+        }
+    }
+    for &id in &order {
+        let g = netlist.gate(id);
+        if g.kind() == GateKind::Input {
+            continue;
+        }
+        let read = |pin: usize, fid: GateId| -> bool {
+            if let Some(f) = fault {
+                if let FaultSite::GateInput { gate, pin: fpin } = f.site() {
+                    if gate == id && fpin as usize == pin {
+                        return f.stuck_value();
+                    }
+                }
+            }
+            values[fid.index()]
+        };
+        let fanin_vals: Vec<bool> = g
+            .fanin()
+            .iter()
+            .enumerate()
+            .map(|(p, &f)| read(p, f))
+            .collect();
+        let mut v = match g.kind() {
+            GateKind::And => fanin_vals.iter().all(|&b| b),
+            GateKind::Nand => !fanin_vals.iter().all(|&b| b),
+            GateKind::Or => fanin_vals.iter().any(|&b| b),
+            GateKind::Nor => !fanin_vals.iter().any(|&b| b),
+            GateKind::Xor => fanin_vals.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => fanin_vals.iter().filter(|&&b| b).count() % 2 == 0,
+            GateKind::Not => !fanin_vals[0],
+            GateKind::Buff => fanin_vals[0],
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Input | GateKind::Dff => unreachable!(),
+        };
+        if let Some(f) = fault {
+            if f.site() == FaultSite::GateOutput(id) {
+                v = f.stuck_value();
+            }
+        }
+        values[id.index()] = v;
+    }
+    values
+}
+
+/// `true` iff `pattern` detects `fault` (some primary output differs
+/// between the good and the faulty circuit).
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_fault::{Fault, FaultSite, reference};
+/// use fbist_bits::BitVec;
+///
+/// let c17 = embedded::c17();
+/// let g = c17.find("22").unwrap();
+/// let f = Fault::stuck_at(FaultSite::GateOutput(g), false);
+/// // all-zero inputs drive 22 to 0, so stuck-at-0 there is NOT detected
+/// assert!(!reference::naive_detects(&c17, f, &BitVec::zeros(5)));
+/// ```
+pub fn naive_detects(netlist: &Netlist, fault: Fault, pattern: &BitVec) -> bool {
+    let good = evaluate(netlist, pattern, None);
+    let bad = evaluate(netlist, pattern, Some(fault));
+    netlist
+        .outputs()
+        .iter()
+        .any(|o| good[o.index()] != bad[o.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::bench;
+
+    #[test]
+    fn good_evaluation_matches_truth_table() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        for v in 0u64..4 {
+            let p = BitVec::from_u64(2, v);
+            let vals = evaluate(&n, &p, None);
+            let y = n.find("y").unwrap();
+            assert_eq!(vals[y.index()], v == 3);
+        }
+    }
+
+    #[test]
+    fn output_fault_on_pi() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n";
+        let n = bench::parse(src).unwrap();
+        let f = Fault::stuck_at(FaultSite::GateOutput(n.find("a").unwrap()), true);
+        assert!(naive_detects(&n, f, &BitVec::zeros(1)));
+        assert!(!naive_detects(&n, f, &BitVec::ones(1)));
+    }
+
+    #[test]
+    fn input_pin_fault_localized() {
+        let src = "INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = BUFF(a)\n";
+        let n = bench::parse(src).unwrap();
+        let x = n.find("x").unwrap();
+        let f = Fault::stuck_at(FaultSite::GateInput { gate: x, pin: 0 }, true);
+        // a=0: pin forced 1 -> x=0 (good x=1): detected via x, y unaffected
+        let p = BitVec::zeros(1);
+        let good = evaluate(&n, &p, None);
+        let bad = evaluate(&n, &p, Some(f));
+        assert_ne!(good[x.index()], bad[x.index()]);
+        let y = n.find("y").unwrap();
+        assert_eq!(good[y.index()], bad[y.index()]);
+    }
+}

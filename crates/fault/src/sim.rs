@@ -1,0 +1,536 @@
+//! Bit-parallel, event-driven single-fault-propagation simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fbist_bits::{pack, BitMatrix, BitVec};
+use fbist_netlist::{GateId, GateKind, Netlist};
+use fbist_sim::{PackedSimulator, SimError};
+
+use crate::model::{Fault, FaultList, FaultSite};
+
+/// Outcome of a fault-simulation run over an ordered pattern set.
+#[derive(Debug, Clone)]
+pub struct FaultSimResult {
+    /// `detected.get(i)` — whether fault `i` of the list was detected.
+    pub detected: BitVec,
+    /// For each fault, the index of the first pattern that detects it.
+    pub first_detection: Vec<Option<u32>>,
+    /// Number of faults in the target list.
+    pub total_faults: usize,
+}
+
+impl FaultSimResult {
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detected.count_ones()
+    }
+
+    /// Fault coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected_count() as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Index one past the last pattern that *first*-detects some fault —
+    /// i.e. the length the pattern set can be trimmed to without losing
+    /// coverage. Returns 0 if nothing is detected.
+    ///
+    /// This is exactly the per-triplet test-length trimming rule of the
+    /// paper's Section 4 ("deleting from each test set the last subsequence
+    /// of patterns not contributing to the fault coverage").
+    pub fn useful_prefix_len(&self) -> usize {
+        self.first_detection
+            .iter()
+            .flatten()
+            .map(|&p| p as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Bit-parallel stuck-at fault simulator.
+///
+/// For every block of 64 patterns the good circuit is simulated once; each
+/// fault is then *injected* and its effect propagated event-wise through
+/// its fanout cone only, in topological order, stopping as soon as the
+/// faulty values reconverge with the good ones. Detection is the lane-wise
+/// XOR at the primary outputs.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_fault::{FaultList, FaultSimulator};
+/// use fbist_bits::BitVec;
+///
+/// let sim = FaultSimulator::new(&embedded::c17())?;
+/// let faults = FaultList::collapsed(sim.netlist());
+/// let res = sim.run(&[BitVec::ones(5)], &faults);
+/// assert!(res.coverage() > 0.0);
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSimulator {
+    sim: PackedSimulator,
+    rank: Vec<u32>,
+    fanout_pins: Vec<Vec<GateId>>,
+    is_po: Vec<bool>,
+}
+
+/// Per-run scratch space, reused across faults and blocks.
+struct Scratch {
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    queued: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch {
+            faulty: vec![0; n],
+            stamp: vec![0; n],
+            queued: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.queued.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
+impl FaultSimulator {
+    /// Builds a fault simulator for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] for sequential netlists
+    /// (apply [`fbist_netlist::full_scan`] first) and [`SimError::Netlist`]
+    /// for invalid ones.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        let sim = PackedSimulator::new(netlist)?;
+        let mut rank = vec![0u32; netlist.gate_count()];
+        for (i, &g) in sim.order().iter().enumerate() {
+            rank[g.index()] = i as u32;
+        }
+        let fanout_pins = netlist.fanouts();
+        let mut is_po = vec![false; netlist.gate_count()];
+        for &o in netlist.outputs() {
+            is_po[o.index()] = true;
+        }
+        Ok(FaultSimulator {
+            sim,
+            rank,
+            fanout_pins,
+            is_po,
+        })
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.sim.netlist()
+    }
+
+    /// The underlying good-circuit simulator.
+    pub fn good_simulator(&self) -> &PackedSimulator {
+        &self.sim
+    }
+
+    /// Simulates the pattern set against the fault list **with fault
+    /// dropping**, returning one bit per fault: detected or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn detects(&self, patterns: &[BitVec], faults: &FaultList) -> BitVec {
+        self.run(patterns, faults).detected
+    }
+
+    /// Simulates the pattern set against the fault list with dropping,
+    /// recording each fault's first detecting pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn run(&self, patterns: &[BitVec], faults: &FaultList) -> FaultSimResult {
+        let n = self.netlist().gate_count();
+        let mut good = vec![0u64; n];
+        let mut scratch = Scratch::new(n);
+        let mut detected = BitVec::zeros(faults.len());
+        let mut first_detection = vec![None; faults.len()];
+        let mut remaining = faults.len();
+
+        for (block_idx, chunk) in patterns.chunks(pack::BLOCK).enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let base = (block_idx * pack::BLOCK) as u32;
+            let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
+            self.sim.eval_block_into(&pi_words, &mut good);
+            let lane_mask = pack::lane_mask(chunk.len());
+            for (fid, fault) in faults.iter() {
+                if detected.get(fid.index()) {
+                    continue;
+                }
+                let det = self.propagate(&good, fault, &mut scratch) & lane_mask;
+                if det != 0 {
+                    detected.set(fid.index(), true);
+                    first_detection[fid.index()] = Some(base + det.trailing_zeros());
+                    remaining -= 1;
+                }
+            }
+        }
+        FaultSimResult {
+            detected,
+            first_detection,
+            total_faults: faults.len(),
+        }
+    }
+
+    /// Builds the full pattern × fault detection dictionary (no dropping):
+    /// cell `(p, f)` is 1 iff pattern `p` detects fault `f`.
+    ///
+    /// With the paper's triplet-expansion convention and `τ = 0`, this *is*
+    /// the initial Detection Matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn dictionary(&self, patterns: &[BitVec], faults: &FaultList) -> BitMatrix {
+        let n = self.netlist().gate_count();
+        let mut good = vec![0u64; n];
+        let mut scratch = Scratch::new(n);
+        let mut m = BitMatrix::new(patterns.len(), faults.len());
+        for (block_idx, chunk) in patterns.chunks(pack::BLOCK).enumerate() {
+            let base = block_idx * pack::BLOCK;
+            let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
+            self.sim.eval_block_into(&pi_words, &mut good);
+            let lane_mask = pack::lane_mask(chunk.len());
+            for (fid, fault) in faults.iter() {
+                let mut det = self.propagate(&good, fault, &mut scratch) & lane_mask;
+                while det != 0 {
+                    let lane = det.trailing_zeros() as usize;
+                    m.set(base + lane, fid.index(), true);
+                    det &= det - 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Injects `fault` into the good values of one block and returns the
+    /// 64-lane detection word (1 = some primary output differs in that
+    /// lane). The caller masks invalid lanes.
+    fn propagate(&self, good: &[u64], fault: Fault, s: &mut Scratch) -> u64 {
+        s.next_epoch();
+        let netlist = self.sim.netlist();
+        let forced_word = if fault.stuck_value() { u64::MAX } else { 0 };
+
+        // Injection.
+        let origin = match fault.site() {
+            FaultSite::GateOutput(g) => {
+                if forced_word == good[g.index()] {
+                    return 0; // never excited in this block
+                }
+                s.faulty[g.index()] = forced_word;
+                s.stamp[g.index()] = s.epoch;
+                s.touched.push(g.index() as u32);
+                g
+            }
+            FaultSite::GateInput { gate, pin } => {
+                let g = netlist.gate(gate);
+                let v = eval_forced(g.kind(), g.fanin(), pin as usize, forced_word, |i| {
+                    good[i]
+                });
+                if v == good[gate.index()] {
+                    return 0;
+                }
+                s.faulty[gate.index()] = v;
+                s.stamp[gate.index()] = s.epoch;
+                s.touched.push(gate.index() as u32);
+                gate
+            }
+        };
+        for &fo in &self.fanout_pins[origin.index()] {
+            self.enqueue(fo, s);
+        }
+
+        // Event-driven sweep in topological rank order. Each gate is
+        // visited at most once: its fanins are final when it pops.
+        while let Some(Reverse((_, idx))) = s.heap.pop() {
+            let id = GateId::from_index(idx as usize);
+            let g = netlist.gate(id);
+            if g.kind() == GateKind::Dff {
+                continue; // state boundary: effects stop at D pins
+            }
+            let epoch = s.epoch;
+            let v = eval_mixed(g.kind(), g.fanin(), |i| {
+                if s.stamp[i] == epoch {
+                    s.faulty[i]
+                } else {
+                    good[i]
+                }
+            });
+            if v != good[idx as usize] {
+                s.faulty[idx as usize] = v;
+                s.stamp[idx as usize] = epoch;
+                s.touched.push(idx);
+                for &fo in &self.fanout_pins[idx as usize] {
+                    self.enqueue(fo, s);
+                }
+            }
+        }
+
+        // Detection: any touched primary output differing from good.
+        let mut det = 0u64;
+        for &t in &s.touched {
+            if self.is_po[t as usize] {
+                det |= s.faulty[t as usize] ^ good[t as usize];
+            }
+        }
+        det
+    }
+
+    #[inline]
+    fn enqueue(&self, id: GateId, s: &mut Scratch) {
+        let i = id.index();
+        if s.queued[i] != s.epoch {
+            s.queued[i] = s.epoch;
+            s.heap.push(Reverse((self.rank[i], i as u32)));
+        }
+    }
+}
+
+/// Evaluates a gate reading values through `read`.
+#[inline]
+fn eval_mixed(kind: GateKind, fanin: &[GateId], read: impl Fn(usize) -> u64) -> u64 {
+    match kind {
+        GateKind::And => fanin.iter().fold(u64::MAX, |a, f| a & read(f.index())),
+        GateKind::Nand => !fanin.iter().fold(u64::MAX, |a, f| a & read(f.index())),
+        GateKind::Or => fanin.iter().fold(0u64, |a, f| a | read(f.index())),
+        GateKind::Nor => !fanin.iter().fold(0u64, |a, f| a | read(f.index())),
+        GateKind::Xor => fanin.iter().fold(0u64, |a, f| a ^ read(f.index())),
+        GateKind::Xnor => !fanin.iter().fold(0u64, |a, f| a ^ read(f.index())),
+        GateKind::Not => !read(fanin[0].index()),
+        GateKind::Buff => read(fanin[0].index()),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Input | GateKind::Dff => unreachable!("sources are assigned"),
+    }
+}
+
+/// Evaluates a gate with one input pin forced to a constant word.
+#[inline]
+fn eval_forced(
+    kind: GateKind,
+    fanin: &[GateId],
+    forced_pin: usize,
+    forced_word: u64,
+    read: impl Fn(usize) -> u64,
+) -> u64 {
+    let pin_val = |p: usize, f: &GateId| {
+        if p == forced_pin {
+            forced_word
+        } else {
+            read(f.index())
+        }
+    };
+    match kind {
+        GateKind::And => fanin
+            .iter()
+            .enumerate()
+            .fold(u64::MAX, |a, (p, f)| a & pin_val(p, f)),
+        GateKind::Nand => !fanin
+            .iter()
+            .enumerate()
+            .fold(u64::MAX, |a, (p, f)| a & pin_val(p, f)),
+        GateKind::Or => fanin
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (p, f)| a | pin_val(p, f)),
+        GateKind::Nor => !fanin
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (p, f)| a | pin_val(p, f)),
+        GateKind::Xor => fanin
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (p, f)| a ^ pin_val(p, f)),
+        GateKind::Xnor => !fanin
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (p, f)| a ^ pin_val(p, f)),
+        GateKind::Not => !forced_word,
+        GateKind::Buff => forced_word,
+        _ => unreachable!("input-pin faults exist only on gates with pins"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fbist_netlist::{bench, embedded};
+
+    fn exhaustive_patterns(width: usize) -> Vec<BitVec> {
+        (0..(1u64 << width)).map(|v| BitVec::from_u64(width, v)).collect()
+    }
+
+    #[test]
+    fn c17_exhaustive_full_coverage() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let res = sim.run(&exhaustive_patterns(5), &faults);
+        assert_eq!(res.detected_count(), faults.len(), "c17 is fully testable");
+        assert!((res.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_c17() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = exhaustive_patterns(5);
+        let dict = sim.dictionary(&patterns, &faults);
+        for (fid, fault) in faults.iter() {
+            for (p, pattern) in patterns.iter().enumerate() {
+                let expect = reference::naive_detects(&n, fault, pattern);
+                assert_eq!(
+                    dict.get(p, fid.index()),
+                    expect,
+                    "fault {} pattern {}",
+                    fault.describe(&n),
+                    pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference_on_adder() {
+        let n = embedded::adder4();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        // pseudo-random subset of patterns
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        let patterns: Vec<BitVec> = (0..80)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                BitVec::from_u64(9, state)
+            })
+            .collect();
+        let dict = sim.dictionary(&patterns, &faults);
+        for (fid, fault) in faults.iter() {
+            for (p, pattern) in patterns.iter().enumerate().step_by(7) {
+                let expect = reference::naive_detects(&n, fault, pattern);
+                assert_eq!(dict.get(p, fid.index()), expect, "{}", fault.describe(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn first_detection_is_first() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let patterns = exhaustive_patterns(5);
+        let res = sim.run(&patterns, &faults);
+        let dict = sim.dictionary(&patterns, &faults);
+        for (fid, _f) in faults.iter() {
+            let expect = (0..patterns.len()).find(|&p| dict.get(p, fid.index()));
+            assert_eq!(
+                res.first_detection[fid.index()].map(|v| v as usize),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn useful_prefix_trims_tail() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut patterns = exhaustive_patterns(5);
+        // duplicate the whole set: the second half adds nothing
+        let dup = patterns.clone();
+        patterns.extend(dup);
+        let res = sim.run(&patterns, &faults);
+        assert!(res.useful_prefix_len() <= 32);
+        assert!(res.useful_prefix_len() > 0);
+    }
+
+    #[test]
+    fn undetectable_fault_reported() {
+        // y = OR(a, NOT(a)) is constant 1: y stuck-at-1 is undetectable.
+        let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n";
+        let n = bench::parse(src).unwrap();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let y = n.find("y").unwrap();
+        let f = Fault::stuck_at(FaultSite::GateOutput(y), true);
+        let faults = FaultList::from_faults(vec![f]);
+        let res = sim.run(&exhaustive_patterns(1), &faults);
+        assert_eq!(res.detected_count(), 0);
+        assert_eq!(res.first_detection[0], None);
+    }
+
+    #[test]
+    fn input_pin_fault_differs_from_stem() {
+        // a fans out to two XOR pins; branch fault flips one path only.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = XOR(a, b)\ny = BUFF(a)\n";
+        let n = bench::parse(src).unwrap();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let x = n.find("x").unwrap();
+        let branch = Fault::stuck_at(FaultSite::GateInput { gate: x, pin: 0 }, false);
+        let stem = Fault::stuck_at(FaultSite::GateOutput(n.find("a").unwrap()), false);
+        let faults = FaultList::from_faults(vec![branch, stem]);
+        // pattern a=1, b=0: branch fault flips x only; stem also flips y.
+        let p: BitVec = "01".parse().unwrap();
+        let dict = sim.dictionary(&[p], &faults);
+        assert!(dict.get(0, 0));
+        assert!(dict.get(0, 1));
+        // now check with naive: branch fault must NOT affect y
+        let pat: BitVec = "01".parse().unwrap();
+        assert!(reference::naive_detects(&n, branch, &pat));
+    }
+
+    #[test]
+    fn detects_equals_run_detected() {
+        let n = embedded::majority();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let patterns = exhaustive_patterns(3);
+        assert_eq!(
+            sim.detects(&patterns, &faults),
+            sim.run(&patterns, &faults).detected
+        );
+    }
+
+    #[test]
+    fn empty_pattern_set_detects_nothing() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let res = sim.run(&[], &faults);
+        assert_eq!(res.detected_count(), 0);
+        assert_eq!(res.useful_prefix_len(), 0);
+    }
+}

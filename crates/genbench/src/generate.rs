@@ -1,0 +1,286 @@
+//! The synthetic circuit generator.
+
+use fbist_netlist::{GateId, GateKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::CircuitProfile;
+
+/// Generates the full-scan combinational core for a profile,
+/// deterministically in `(profile, seed)`.
+///
+/// Construction:
+///
+/// 1. primary inputs `i0..` and scan pseudo-inputs `ff0..`;
+/// 2. a pseudo-random gate DAG with locality-biased fanin selection
+///    (mimicking the short-wire bias of real netlists) and an
+///    ISCAS-flavoured gate-kind mix;
+/// 3. `profile.resistant_cones` wide comparator cones
+///    (`AND(lit, lit, …)` over `cone_width` random literals) — each fires
+///    on exactly one assignment of its literals, making its faults
+///    random-pattern resistant;
+/// 4. outputs: the cone outputs first, then XOR-compactor trees over all
+///    still-unobserved nets, so (almost) no logic is structurally
+///    unobservable and the PO count matches the profile.
+pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&profile.name));
+    let mut n = Netlist::new(profile.name.clone());
+
+    // --- sources ---------------------------------------------------------
+    let mut nets: Vec<GateId> = Vec::new();
+    for i in 0..profile.inputs {
+        nets.push(n.add_input(format!("i{i}")));
+    }
+    for i in 0..profile.flip_flops {
+        nets.push(n.add_input(format!("ff{i}")));
+    }
+
+    // --- random gate DAG --------------------------------------------------
+    // cone budget: each cone of width w costs roughly w inverters + a tree
+    let cone_cost = profile.resistant_cones * (profile.cone_width + 2);
+    let body_gates = profile.gates.saturating_sub(cone_cost).max(8);
+    let mut gate_no = 0usize;
+    for _ in 0..body_gates {
+        let kind = pick_kind(&mut rng);
+        let fanin_count = match kind {
+            GateKind::Not | GateKind::Buff => 1,
+            _ => {
+                // 2 (60 %), 3 (30 %), 4 (10 %)
+                match rng.gen_range(0..10) {
+                    0..=5 => 2,
+                    6..=8 => 3,
+                    _ => 4,
+                }
+            }
+        };
+        let mut fanin = Vec::with_capacity(fanin_count);
+        let mut attempts = 0;
+        while fanin.len() < fanin_count && attempts < fanin_count * 8 {
+            let cand = pick_net(&mut rng, &nets);
+            if !fanin.contains(&cand) {
+                fanin.push(cand);
+            }
+            attempts += 1;
+        }
+        let id = n
+            .add_gate(kind, format!("g{gate_no}"), fanin)
+            .expect("generator produces unique names and valid fanins");
+        gate_no += 1;
+        nets.push(id);
+    }
+
+    // --- random-pattern-resistant cones ------------------------------------
+    let mut cone_outs = Vec::new();
+    let sources = profile.scan_inputs();
+    for c in 0..profile.resistant_cones {
+        // literals over DISTINCT primary inputs: jointly satisfiable by
+        // construction (one specific assignment of `width` free inputs),
+        // hence testable but hit by random patterns only with
+        // probability 2^-width
+        let width = profile.cone_width.min(sources).max(2);
+        let mut picks: Vec<usize> = (0..sources).collect();
+        for i in 0..width {
+            let j = rng.gen_range(i..sources);
+            picks.swap(i, j);
+        }
+        let mut literals = Vec::with_capacity(width);
+        for (l, &src_pos) in picks[..width].iter().enumerate() {
+            let src = nets[src_pos];
+            if rng.gen_bool(0.5) {
+                let inv = n
+                    .add_gate(GateKind::Not, format!("cone{c}_n{l}"), vec![src])
+                    .expect("unique cone names");
+                literals.push(inv);
+            } else {
+                literals.push(src);
+            }
+        }
+        let out = n
+            .add_gate(GateKind::And, format!("cone{c}"), literals)
+            .expect("unique cone names");
+        nets.push(out);
+        cone_outs.push(out);
+    }
+
+    // --- outputs ------------------------------------------------------------
+    let mut po_budget = profile.scan_outputs();
+    // 1) resistant cones are always directly observed
+    for &c in &cone_outs {
+        if po_budget == 0 {
+            break;
+        }
+        n.add_output(c);
+        po_budget -= 1;
+    }
+    // 2) dangling nets → XOR compactor trees filling the remaining POs
+    let fanouts = n.fanouts();
+    let mut dangling: Vec<GateId> = n
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|&id| fanouts[id.index()].is_empty() && !n.outputs().contains(&id))
+        .collect();
+    if po_budget > 0 && !dangling.is_empty() {
+        // split dangling nets into po_budget chunks, XOR-tree each
+        let chunk = dangling.len().div_ceil(po_budget);
+        let mut po_no = 0usize;
+        while !dangling.is_empty() {
+            let take: Vec<GateId> = dangling
+                .drain(..chunk.min(dangling.len()))
+                .collect();
+            let out = if take.len() == 1 {
+                take[0]
+            } else {
+                n.add_gate(GateKind::Xor, format!("po_x{po_no}"), take)
+                    .expect("unique compactor names")
+            };
+            n.add_output(out);
+            po_no += 1;
+            po_budget = po_budget.saturating_sub(1);
+            if po_budget == 0 {
+                break;
+            }
+        }
+    }
+    // 3) any POs still missing: observe random internal nets
+    while po_budget > 0 {
+        let net = pick_net(&mut rng, &nets);
+        n.add_output(net);
+        po_budget -= 1;
+    }
+    // 4) leftover dangling nets (when chunks ran out): fold into one extra
+    //    XOR output so nothing stays unobservable
+    if !dangling.is_empty() {
+        let out = if dangling.len() == 1 {
+            dangling[0]
+        } else {
+            n.add_gate(GateKind::Xor, "po_tail".to_owned(), dangling)
+                .expect("unique name")
+        };
+        n.add_output(out);
+    }
+
+    debug_assert!(n.validate().is_ok());
+    n
+}
+
+/// Locality-biased net pick: mostly recent nets, occasionally anything.
+fn pick_net(rng: &mut StdRng, nets: &[GateId]) -> GateId {
+    debug_assert!(!nets.is_empty());
+    if nets.len() > 48 && rng.gen_bool(0.7) {
+        // recent window (short wires)
+        let start = nets.len() - 48;
+        nets[rng.gen_range(start..nets.len())]
+    } else {
+        nets[rng.gen_range(0..nets.len())]
+    }
+}
+
+/// ISCAS-flavoured gate-kind mix.
+fn pick_kind(rng: &mut StdRng) -> GateKind {
+    match rng.gen_range(0..100) {
+        0..=24 => GateKind::Nand,
+        25..=44 => GateKind::And,
+        45..=59 => GateKind::Nor,
+        60..=74 => GateKind::Or,
+        75..=84 => GateKind::Not,
+        85..=92 => GateKind::Xor,
+        93..=96 => GateKind::Xnor,
+        _ => GateKind::Buff,
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, for a stable per-profile seed tweak
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{paper_suite, profile};
+    use fbist_netlist::NetlistStats;
+
+    #[test]
+    fn deterministic_generation() {
+        let p = profile("c499").unwrap().scaled(0.5);
+        let a = generate(&p, 7);
+        let b = generate(&p, 7);
+        assert_eq!(fbist_netlist::bench::to_bench(&a), fbist_netlist::bench::to_bench(&b));
+        let c = generate(&p, 8);
+        assert_ne!(fbist_netlist::bench::to_bench(&a), fbist_netlist::bench::to_bench(&c));
+    }
+
+    #[test]
+    fn interface_matches_profile() {
+        for p in [
+            profile("c880").unwrap().scaled(0.3),
+            profile("s1238").unwrap().scaled(0.5),
+        ] {
+            let n = generate(&p, 3);
+            assert_eq!(n.inputs().len(), p.scan_inputs(), "{}", p.name);
+            assert!(n.is_combinational());
+            assert!(n.validate().is_ok());
+            // PO count: scan_outputs, possibly +1 for the tail compactor
+            let po = n.outputs().len();
+            assert!(
+                po >= p.scan_outputs() && po <= p.scan_outputs() + 1,
+                "{}: {po} vs {}",
+                p.name,
+                p.scan_outputs()
+            );
+        }
+    }
+
+    #[test]
+    fn gate_count_tracks_profile() {
+        let p = profile("s953").unwrap();
+        let n = generate(&p, 1);
+        let g = n.logic_gate_count();
+        // the generator spends the budget on body + cones ± compactors
+        assert!(
+            g >= p.gates * 8 / 10 && g <= p.gates * 13 / 10,
+            "{g} vs profile {}",
+            p.gates
+        );
+    }
+
+    #[test]
+    fn no_structurally_dead_logic() {
+        let p = profile("tiny64").unwrap();
+        let n = generate(&p, 9);
+        let fanouts = n.fanouts();
+        for (id, _g) in n.iter() {
+            let observed = !fanouts[id.index()].is_empty() || n.outputs().contains(&id);
+            assert!(observed, "net {} is dangling", n.gate(id).name());
+        }
+    }
+
+    #[test]
+    fn cones_exist_and_are_wide() {
+        let p = profile("mid256").unwrap();
+        let n = generate(&p, 5);
+        let cones: Vec<_> = n
+            .iter()
+            .filter(|(_, g)| g.name().starts_with("cone") && !g.name().contains("_n"))
+            .collect();
+        assert_eq!(cones.len(), p.resistant_cones);
+        for (_, g) in cones {
+            assert!(g.fanin().len() >= 4, "cone too narrow: {}", g.fanin().len());
+        }
+    }
+
+    #[test]
+    fn all_paper_profiles_generate_small_scale() {
+        for p in paper_suite() {
+            let scaled = p.scaled(0.05);
+            let n = generate(&scaled, 11);
+            assert!(n.validate().is_ok(), "{}", p.name);
+            assert!(NetlistStats::of(&n).depth > 1, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic ISCAS-like benchmark circuits.
+//!
+//! The paper evaluates on ISCAS'85 circuits and full-scan ISCAS'89
+//! circuits "not random testable by 10k patterns". The benchmark tapes
+//! themselves cannot be embedded here, so this crate generates *synthetic
+//! stand-ins*: deterministic pseudo-random gate networks matching each
+//! original's interface profile (PI/PO/FF counts, gate count) and — the
+//! property that actually matters for the reseeding experiments —
+//! containing deliberately random-pattern-resistant cones (wide
+//! comparators), so a deterministic ATPG beats random patterns on them
+//! just like on the originals.
+//!
+//! Sequential profiles are generated directly in their **full-scan form**:
+//! the combinational core with one extra primary input per flip-flop (the
+//! pseudo-PI) and one extra primary output per flip-flop (the pseudo-PO),
+//! which is exactly the view the paper's TPG drives.
+//!
+//! All generation is deterministic in `(profile, seed)`.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_genbench::{profile, generate};
+//!
+//! let p = profile("s1238").expect("paper circuit").scaled(0.25);
+//! let netlist = generate(&p, 1);
+//! assert!(netlist.is_combinational());         // full-scan form
+//! assert_eq!(netlist.inputs().len(), p.inputs + p.flip_flops);
+//! assert!(netlist.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod profile;
+
+pub use generate::generate;
+pub use profile::{all_profiles, paper_suite, profile, CircuitProfile};

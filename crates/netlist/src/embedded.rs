@@ -1,0 +1,175 @@
+//! Embedded real benchmark circuits.
+//!
+//! A few small, well-known circuits are embedded verbatim so the parser,
+//! simulators, ATPG and the reseeding flow can be exercised against real
+//! netlists without external files. Larger ISCAS'85/'89 circuits are not
+//! redistributable inside source code at reasonable size; the
+//! `fbist-genbench` crate generates synthetic profiles that stand in for
+//! them (see `DESIGN.md`).
+
+use crate::bench;
+use crate::netlist::Netlist;
+
+/// `.bench` source of c17, the smallest ISCAS'85 benchmark (6 NAND gates).
+pub const C17_BENCH: &str = "\
+# c17 — ISCAS'85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// `.bench` source of a 4-bit ripple-carry adder (`cin + a[3:0] + b[3:0]`).
+pub const ADDER4_BENCH: &str = "\
+# 4-bit ripple-carry adder
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+INPUT(b0)
+INPUT(b1)
+INPUT(b2)
+INPUT(b3)
+INPUT(cin)
+OUTPUT(s0)
+OUTPUT(s1)
+OUTPUT(s2)
+OUTPUT(s3)
+OUTPUT(cout)
+x0 = XOR(a0, b0)
+s0 = XOR(x0, cin)
+g0 = AND(a0, b0)
+p0 = AND(x0, cin)
+c1 = OR(g0, p0)
+x1 = XOR(a1, b1)
+s1 = XOR(x1, c1)
+g1 = AND(a1, b1)
+p1 = AND(x1, c1)
+c2 = OR(g1, p1)
+x2 = XOR(a2, b2)
+s2 = XOR(x2, c2)
+g2 = AND(a2, b2)
+p2 = AND(x2, c2)
+c3 = OR(g2, p2)
+x3 = XOR(a3, b3)
+s3 = XOR(x3, c3)
+g3 = AND(a3, b3)
+p3 = AND(x3, c3)
+cout = OR(g3, p3)
+";
+
+/// `.bench` source of a small sequential circuit: a 3-bit Johnson counter
+/// with a decoded output, used to exercise the full-scan transform.
+pub const JOHNSON3_BENCH: &str = "\
+# 3-bit Johnson counter with decode
+INPUT(en)
+OUTPUT(hit)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+nq2 = NOT(q2)
+d0 = AND(nq2, en)
+d1 = AND(q0, en)
+d2 = AND(q1, en)
+hit = AND(q0, q1, q2)
+";
+
+/// `.bench` source of a 2-of-3 majority voter with inverted spare output.
+pub const MAJORITY_BENCH: &str = "\
+# majority-of-3 voter
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(m)
+OUTPUT(nm)
+ab = AND(a, b)
+bc = AND(b, c)
+ac = AND(a, c)
+m = OR(ab, bc, ac)
+nm = NOT(m)
+";
+
+/// Parses and returns c17.
+///
+/// # Example
+///
+/// ```
+/// let n = fbist_netlist::embedded::c17();
+/// assert_eq!(n.inputs().len(), 5);
+/// ```
+pub fn c17() -> Netlist {
+    bench::parse_named(C17_BENCH, "c17").expect("embedded c17 parses")
+}
+
+/// Parses and returns the 4-bit ripple-carry adder.
+pub fn adder4() -> Netlist {
+    bench::parse_named(ADDER4_BENCH, "adder4").expect("embedded adder4 parses")
+}
+
+/// Parses and returns the 3-bit Johnson counter (sequential).
+pub fn johnson3() -> Netlist {
+    bench::parse_named(JOHNSON3_BENCH, "johnson3").expect("embedded johnson3 parses")
+}
+
+/// Parses and returns the majority voter.
+pub fn majority() -> Netlist {
+    bench::parse_named(MAJORITY_BENCH, "majority").expect("embedded majority parses")
+}
+
+/// All embedded circuits, by name.
+pub fn all() -> Vec<Netlist> {
+    vec![c17(), adder4(), johnson3(), majority()]
+}
+
+/// Looks an embedded circuit up by name.
+pub fn by_name(name: &str) -> Option<Netlist> {
+    match name {
+        "c17" => Some(c17()),
+        "adder4" => Some(adder4()),
+        "johnson3" => Some(johnson3()),
+        "majority" => Some(majority()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_embedded_validate() {
+        for n in all() {
+            assert!(n.validate().is_ok(), "{} invalid", n.name());
+        }
+    }
+
+    #[test]
+    fn adder4_shape() {
+        let n = adder4();
+        assert_eq!(n.inputs().len(), 9);
+        assert_eq!(n.outputs().len(), 5);
+        assert_eq!(n.logic_gate_count(), 20);
+    }
+
+    #[test]
+    fn johnson3_is_sequential() {
+        let n = johnson3();
+        assert_eq!(n.dffs().len(), 3);
+        assert!(!n.is_combinational());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("c17").is_some());
+        assert!(by_name("c9999").is_none());
+    }
+}

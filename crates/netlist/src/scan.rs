@@ -1,0 +1,216 @@
+//! Full-scan transformation.
+//!
+//! Scan design makes every flip-flop externally controllable and observable.
+//! For test generation purposes a full-scan sequential circuit is therefore
+//! equivalent to its *combinational core*: each DFF's `Q` output becomes a
+//! pseudo primary input (PPI) and each DFF's `D` input becomes a pseudo
+//! primary output (PPO). This is exactly how the paper uses "the full-scan
+//! version of the ISCAS'89 circuits": the TPG feeds `PI ∪ PPI` and the
+//! responses are observed at `PO ∪ PPO`.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_netlist::{bench, full_scan};
+//!
+//! let n = bench::parse("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n")?;
+//! let view = full_scan(&n);
+//! let comb = view.combinational();
+//! assert!(comb.is_combinational());
+//! assert_eq!(comb.inputs().len(), 2);  // a + one PPI
+//! assert_eq!(comb.outputs().len(), 2); // q (now the PPI net) + one PPO
+//! # Ok::<(), fbist_netlist::bench::BenchParseError>(())
+//! ```
+
+use crate::gate::GateKind;
+use crate::netlist::{GateId, Netlist};
+
+/// The result of [`full_scan`]: the combinational core plus the bookkeeping
+/// linking pseudo inputs/outputs back to the original flip-flops.
+#[derive(Debug, Clone)]
+pub struct ScanView {
+    comb: Netlist,
+    original_pi_count: usize,
+    original_po_count: usize,
+    ppi: Vec<GateId>,
+    ppo: Vec<GateId>,
+}
+
+impl ScanView {
+    /// The combinational core. Its input list is `PI … PPI` (original
+    /// primary inputs first) and its output list is `PO … PPO`.
+    pub fn combinational(&self) -> &Netlist {
+        &self.comb
+    }
+
+    /// Consumes the view, returning the combinational core.
+    pub fn into_combinational(self) -> Netlist {
+        self.comb
+    }
+
+    /// Number of original primary inputs (the first entries of the core's
+    /// input list).
+    pub fn original_pi_count(&self) -> usize {
+        self.original_pi_count
+    }
+
+    /// Number of original primary outputs.
+    pub fn original_po_count(&self) -> usize {
+        self.original_po_count
+    }
+
+    /// Pseudo primary inputs (one per DFF, in DFF declaration order), as ids
+    /// in the combinational core.
+    pub fn pseudo_inputs(&self) -> &[GateId] {
+        &self.ppi
+    }
+
+    /// Pseudo primary outputs (one per DFF, in DFF declaration order), as
+    /// ids in the combinational core.
+    pub fn pseudo_outputs(&self) -> &[GateId] {
+        &self.ppo
+    }
+
+    /// Number of scan cells (flip-flops in the original circuit).
+    pub fn scan_cell_count(&self) -> usize {
+        self.ppi.len()
+    }
+}
+
+/// Applies the full-scan transformation, producing the combinational core.
+///
+/// Every [`GateKind::Dff`] becomes an [`GateKind::Input`] (same name), and
+/// the net driving its `D` pin is added to the output list. Combinational
+/// circuits pass through unchanged (the view simply has no PPI/PPO).
+///
+/// # Panics
+///
+/// Panics if the input netlist fails validation (callers are expected to
+/// have validated or constructed it through the builder API).
+pub fn full_scan(netlist: &Netlist) -> ScanView {
+    netlist.validate().expect("full_scan requires a valid netlist");
+    let mut comb = Netlist::new(format!("{}_scan", netlist.name()));
+    let mut map: Vec<Option<GateId>> = vec![None; netlist.gate_count()];
+
+    // 1. Original primary inputs keep their position at the front.
+    for &pi in netlist.inputs() {
+        let id = comb.add_input(netlist.gate(pi).name().to_owned());
+        map[pi.index()] = Some(id);
+    }
+    // 2. Each DFF becomes a pseudo primary input.
+    let mut ppi = Vec::with_capacity(netlist.dffs().len());
+    for &d in netlist.dffs() {
+        let id = comb.add_input(netlist.gate(d).name().to_owned());
+        map[d.index()] = Some(id);
+        ppi.push(id);
+    }
+    // 3. Copy the combinational gates in a valid topological order.
+    let order = netlist.levelize().expect("validated netlist levelizes");
+    for &gid in &order {
+        let g = netlist.gate(gid);
+        if g.kind() == GateKind::Input || g.kind() == GateKind::Dff {
+            continue; // already mapped
+        }
+        let fanin: Vec<GateId> = g
+            .fanin()
+            .iter()
+            .map(|&f| map[f.index()].expect("fanin mapped before use"))
+            .collect();
+        let id = comb
+            .add_gate(g.kind(), g.name().to_owned(), fanin)
+            .expect("copying a valid netlist cannot fail");
+        map[gid.index()] = Some(id);
+    }
+    // 4. Outputs: original POs first, then one PPO per DFF (its D net).
+    for &po in netlist.outputs() {
+        comb.add_output(map[po.index()].expect("output mapped"));
+    }
+    let mut ppo = Vec::with_capacity(netlist.dffs().len());
+    for &d in netlist.dffs() {
+        let d_net = netlist.gate(d).fanin()[0];
+        let mapped = map[d_net.index()].expect("D net mapped");
+        comb.add_output(mapped);
+        ppo.push(mapped);
+    }
+
+    ScanView {
+        comb,
+        original_pi_count: netlist.inputs().len(),
+        original_po_count: netlist.outputs().len(),
+        ppi,
+        ppo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    fn counter2() -> Netlist {
+        // 2-bit counter: q0' = NOT q0; q1' = q1 XOR q0; out = AND(q0, q1)
+        let src = "\
+OUTPUT(out)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = NOT(q0)
+d1 = XOR(q1, q0)
+out = AND(q0, q1)
+";
+        bench::parse_named(src, "counter2").unwrap()
+    }
+
+    #[test]
+    fn scan_replaces_dffs() {
+        let n = counter2();
+        let view = full_scan(&n);
+        let c = view.combinational();
+        assert!(c.is_combinational());
+        assert_eq!(view.scan_cell_count(), 2);
+        assert_eq!(c.inputs().len(), 2); // 0 PIs + 2 PPIs
+        assert_eq!(c.outputs().len(), 3); // out + 2 PPOs
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scan_preserves_names() {
+        let n = counter2();
+        let c = full_scan(&n).into_combinational();
+        assert!(c.find("q0").is_some());
+        assert!(c.find("d1").is_some());
+        assert_eq!(c.gate(c.find("q0").unwrap()).kind(), GateKind::Input);
+    }
+
+    #[test]
+    fn scan_order_pi_then_ppi() {
+        let src = "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = AND(a, q)\ny = NOT(q)\n";
+        let n = bench::parse(src).unwrap();
+        let view = full_scan(&n);
+        let c = view.combinational();
+        assert_eq!(view.original_pi_count(), 1);
+        assert_eq!(c.gate(c.inputs()[0]).name(), "a");
+        assert_eq!(c.gate(c.inputs()[1]).name(), "q");
+        assert_eq!(view.pseudo_inputs(), &[c.inputs()[1]]);
+    }
+
+    #[test]
+    fn combinational_passthrough() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let view = full_scan(&n);
+        assert_eq!(view.scan_cell_count(), 0);
+        assert_eq!(view.combinational().inputs().len(), 2);
+        assert_eq!(view.combinational().outputs().len(), 1);
+    }
+
+    #[test]
+    fn ppo_is_d_net() {
+        let n = counter2();
+        let view = full_scan(&n);
+        let c = view.combinational();
+        // first DFF is q0, its D net is d0 = NOT(q0)
+        let d0 = c.find("d0").unwrap();
+        assert_eq!(view.pseudo_outputs()[0], d0);
+        assert!(c.outputs().contains(&d0));
+    }
+}

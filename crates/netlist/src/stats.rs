@@ -1,0 +1,155 @@
+//! Netlist statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Summary statistics of a netlist, in the style of the ISCAS benchmark
+/// profile tables.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::{bench, NetlistStats};
+/// let n = bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let s = NetlistStats::of(&n);
+/// assert_eq!(s.inputs, 2);
+/// assert_eq!(s.logic_gates, 1);
+/// assert_eq!(s.depth, 1);
+/// # Ok::<(), fbist_netlist::bench::BenchParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Logic gate count (excludes inputs, constants, DFFs).
+    pub logic_gates: usize,
+    /// Maximum combinational depth in gates (0 for a wire-only circuit).
+    pub depth: usize,
+    /// Largest fanout of any net.
+    pub max_fanout: usize,
+    /// Largest fanin of any gate.
+    pub max_fanin: usize,
+    /// Gate population per kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not levelize (invalid circuits have no
+    /// meaningful depth).
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let order = netlist.levelize().expect("stats require a valid netlist");
+        let mut level = vec![0usize; netlist.gate_count()];
+        let mut depth = 0;
+        for &id in &order {
+            let g = netlist.gate(id);
+            if g.kind().is_source() || g.kind().is_state() {
+                continue;
+            }
+            let l = g
+                .fanin()
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            level[id.index()] = l;
+            depth = depth.max(l);
+        }
+        let mut by_kind = BTreeMap::new();
+        let mut max_fanin = 0;
+        for (_, g) in netlist.iter() {
+            *by_kind.entry(g.kind()).or_insert(0) += 1;
+            max_fanin = max_fanin.max(g.fanin().len());
+        }
+        let max_fanout = netlist
+            .fanouts()
+            .iter()
+            .map(|f| f.len())
+            .max()
+            .unwrap_or(0);
+        NetlistStats {
+            name: netlist.name().to_owned(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            dffs: netlist.dffs().len(),
+            logic_gates: netlist.logic_gate_count(),
+            depth,
+            max_fanout,
+            max_fanin,
+            by_kind,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: PI={} PO={} FF={} gates={} depth={} maxFO={} maxFI={}",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.logic_gates,
+            self.depth,
+            self.max_fanout,
+            self.max_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::embedded;
+
+    #[test]
+    fn c17_stats() {
+        let n = embedded::c17();
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.logic_gates, 6);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.by_kind[&GateKind::Nand], 6);
+        assert_eq!(s.dffs, 0);
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        let src = "INPUT(a)\nOUTPUT(d)\nb = NOT(a)\nc = NOT(b)\nd = NOT(c)\n";
+        let n = bench::parse(src).unwrap();
+        assert_eq!(NetlistStats::of(&n).depth, 3);
+    }
+
+    #[test]
+    fn fanout_counts_pins() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, a, a)\n";
+        let n = bench::parse(src).unwrap();
+        let s = NetlistStats::of(&n);
+        assert_eq!(s.max_fanout, 3);
+        assert_eq!(s.max_fanin, 3);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let n = embedded::c17();
+        let text = NetlistStats::of(&n).to_string();
+        assert!(text.contains("PI=5"));
+        assert!(text.contains("gates=6"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic set-covering instance generators for tests and benchmarks.
+
+use fbist_bits::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::DetectionMatrix;
+
+/// Generates a random coverable instance: `rows × cols`, each cell set with
+/// probability `density`; afterwards every uncovered column is patched onto
+/// a random row, so a full cover always exists.
+///
+/// # Example
+///
+/// ```
+/// use fbist_setcover::generate::random_instance;
+/// let m = random_instance(20, 50, 0.1, 42);
+/// assert!(m.uncoverable_cols().is_empty());
+/// let all: Vec<usize> = (0..20).collect();
+/// assert!(m.is_cover(&all));
+/// ```
+pub fn random_instance(rows: usize, cols: usize, density: f64, seed: u64) -> DetectionMatrix {
+    assert!(rows > 0 && cols > 0, "instance must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<BitVec> = (0..rows).map(|_| BitVec::zeros(cols)).collect();
+    for row in data.iter_mut() {
+        for c in 0..cols {
+            if rng.gen::<f64>() < density {
+                row.set(c, true);
+            }
+        }
+    }
+    for c in 0..cols {
+        if !data.iter().any(|r| r.get(c)) {
+            let r = rng.gen_range(0..rows);
+            data[r].set(c, true);
+        }
+    }
+    DetectionMatrix::from_rows(cols, data)
+}
+
+/// Generates a "detection-shaped" instance mimicking what the reseeding
+/// flow produces: a few *easy* columns covered by many rows (random-
+/// testable faults) and a tail of *hard* columns covered by very few rows
+/// (random-resistant faults) — the regime where essentiality and dominance
+/// collapse most of the matrix, exactly as the paper reports.
+pub fn detection_shaped(rows: usize, cols: usize, seed: u64) -> DetectionMatrix {
+    assert!(rows > 0 && cols > 0, "instance must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<BitVec> = (0..rows).map(|_| BitVec::zeros(cols)).collect();
+    let easy = cols * 7 / 10;
+    for c in 0..cols {
+        let coverers = if c < easy {
+            // easy fault: 30–80 % of rows detect it
+            let lo = rows * 3 / 10;
+            let hi = (rows * 8 / 10).max(lo + 1);
+            rng.gen_range(lo..hi).max(1)
+        } else {
+            // hard fault: 1–3 rows detect it
+            rng.gen_range(1..=3usize.min(rows))
+        };
+        for _ in 0..coverers {
+            let r = rng.gen_range(0..rows);
+            data[r].set(c, true);
+        }
+    }
+    DetectionMatrix::from_rows(cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{reduce, ReducerConfig};
+    use crate::solution::{solve, SolveConfig};
+
+    #[test]
+    fn random_instance_is_coverable_and_deterministic() {
+        let a = random_instance(10, 30, 0.15, 7);
+        let b = random_instance(10, 30, 0.15, 7);
+        assert_eq!(a.row_major(), b.row_major());
+        assert!(a.uncoverable_cols().is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_instance(10, 30, 0.15, 7);
+        let b = random_instance(10, 30, 0.15, 8);
+        assert_ne!(a.row_major(), b.row_major());
+    }
+
+    #[test]
+    fn detection_shaped_has_hard_tail() {
+        let m = detection_shaped(40, 100, 3);
+        let hard = (70..100).filter(|&c| m.col_weight(c) <= 3).count();
+        assert!(hard >= 25, "hard tail missing: {hard}");
+        assert!(m.uncoverable_cols().is_empty());
+    }
+
+    #[test]
+    fn detection_shaped_reduces_heavily() {
+        let m = detection_shaped(60, 200, 11);
+        let r = reduce(&m, &ReducerConfig::default());
+        let (ar, ac) = r.residual_size();
+        // the hard tail forces essentials; the easy head gets dominated
+        assert!(
+            ar < 60 && ac < 200,
+            "no reduction happened: {ar}x{ac}"
+        );
+        let sol = solve(&m, &SolveConfig::default());
+        assert!(m.is_cover(&sol.rows()));
+    }
+}

@@ -1,0 +1,251 @@
+//! Local-search / metaheuristic set covering.
+//!
+//! §3.3 of the paper: *"Depending on the size of the matrix, either exact
+//! approaches or local research and meta-heuristic techniques are
+//! applied."* The experiments never needed them (the reductions always
+//! left an exactly solvable residual), but the flow keeps the option.
+//!
+//! The implementation is the standard two-phase scheme:
+//!
+//! 1. start from the greedy cover;
+//! 2. **redundancy elimination** — drop any row whose columns are all
+//!    covered twice;
+//! 3. **ruin-and-recreate descent** — repeatedly remove a few random rows
+//!    and greedily repair, keeping improvements (with an optional
+//!    simulated-annealing acceptance for escaping plateaus).
+//!
+//! The result is always a valid cover; with enough iterations it matches
+//! the exact optimum on small instances (tested), without the exponential
+//! worst case.
+
+use fbist_bits::BitVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::greedy::greedy_cover;
+use crate::matrix::DetectionMatrix;
+
+/// Configuration for [`local_search_cover`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalSearchConfig {
+    /// Ruin-and-recreate iterations.
+    pub iterations: usize,
+    /// Rows removed per ruin step.
+    pub ruin_size: usize,
+    /// Simulated-annealing start temperature (0 = pure descent).
+    pub temperature: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig {
+            iterations: 400,
+            ruin_size: 3,
+            temperature: 1.0,
+            cooling: 0.99,
+            seed: 0x10CA_15EA,
+        }
+    }
+}
+
+/// Removes redundant rows from a cover (rows whose every covered column is
+/// covered by another selected row), scanning in reverse selection order.
+///
+/// The result is a *minimal* (irredundant) cover — the paper's Definition
+/// of a minimal solution — though not necessarily minim**um**.
+///
+/// ```
+/// use fbist_setcover::{eliminate_redundant, DetectionMatrix};
+/// use fbist_bits::BitVec;
+///
+/// let rows: Vec<BitVec> = ["110", "011", "111"].iter().map(|s| s.parse().unwrap()).collect();
+/// let m = DetectionMatrix::from_rows(3, rows);
+/// // {0, 1, 2} is a cover with one redundant row; scanning in reverse
+/// // drops row 2 (rows 0 and 1 already cover everything)
+/// let minimal = eliminate_redundant(&m, &[0, 1, 2]);
+/// assert_eq!(minimal, vec![0, 1]);
+/// assert!(m.is_cover(&minimal));
+/// ```
+pub fn eliminate_redundant(matrix: &DetectionMatrix, cover: &[usize]) -> Vec<usize> {
+    let mut kept: Vec<usize> = cover.to_vec();
+    let mut i = kept.len();
+    while i > 0 {
+        i -= 1;
+        let without: Vec<usize> = kept
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &r)| r)
+            .collect();
+        let cov = matrix.union_coverage(&without);
+        let full = matrix.union_coverage(&kept);
+        if cov == full {
+            kept.remove(i);
+        }
+    }
+    kept
+}
+
+/// Metaheuristic unicost set covering (see the module docs).
+///
+/// Always returns a valid cover of the coverable columns. Deterministic in
+/// the seed.
+///
+/// ```
+/// use fbist_setcover::{local_search_cover, LocalSearchConfig, DetectionMatrix};
+/// use fbist_bits::BitVec;
+///
+/// let rows: Vec<BitVec> = ["00001111", "00110000", "01000000", "01010101", "10101010"]
+///     .iter().map(|s| s.parse().unwrap()).collect();
+/// let m = DetectionMatrix::from_rows(8, rows);
+/// let cover = local_search_cover(&m, &LocalSearchConfig::default());
+/// assert!(m.is_cover(&cover));
+/// assert_eq!(cover.len(), 2); // finds the optimum greedy misses
+/// ```
+pub fn local_search_cover(matrix: &DetectionMatrix, config: &LocalSearchConfig) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = eliminate_redundant(matrix, &greedy_cover(matrix));
+    let mut best = current.clone();
+    let mut temperature = config.temperature;
+
+    for _ in 0..config.iterations {
+        if best.len() <= 1 {
+            break; // cannot improve on a singleton (or empty) cover
+        }
+        // ---- ruin: drop a few random rows --------------------------------
+        let mut trial = current.clone();
+        let ruin = config.ruin_size.min(trial.len().saturating_sub(1)).max(1);
+        for _ in 0..ruin {
+            if trial.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..trial.len());
+            trial.swap_remove(k);
+        }
+        // ---- recreate: greedy repair of the uncovered columns ------------
+        let mut uncovered = coverable_columns(matrix);
+        let covered = matrix.union_coverage(&trial);
+        uncovered = &uncovered & &!&covered;
+        while uncovered.count_ones() > 0 {
+            let mut best_row = usize::MAX;
+            let mut best_gain = 0usize;
+            for r in 0..matrix.rows() {
+                let gain = matrix.row_major().count_row_masked(r, &uncovered);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_row = r;
+                }
+            }
+            if best_row == usize::MAX {
+                break;
+            }
+            trial.push(best_row);
+            uncovered = &uncovered & &!&matrix.row_coverage(best_row);
+        }
+        let trial = eliminate_redundant(matrix, &trial);
+
+        // ---- accept -------------------------------------------------------
+        let delta = trial.len() as f64 - current.len() as f64;
+        let accept = delta <= 0.0
+            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        if accept {
+            current = trial;
+            if current.len() < best.len() {
+                best = current.clone();
+            }
+        }
+        temperature *= config.cooling;
+    }
+    best
+}
+
+fn coverable_columns(matrix: &DetectionMatrix) -> BitVec {
+    let mut v = BitVec::zeros(matrix.cols());
+    for c in 0..matrix.cols() {
+        if matrix.col_weight(c) > 0 {
+            v.set(c, true);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use crate::generate::{detection_shaped, random_instance};
+
+    #[test]
+    fn valid_on_random_instances() {
+        for seed in 0..10 {
+            let m = random_instance(25, 60, 0.12, seed);
+            let cover = local_search_cover(&m, &LocalSearchConfig::default());
+            assert!(m.is_cover(&cover), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_small_instances() {
+        for seed in 0..8 {
+            let m = random_instance(14, 30, 0.18, 100 + seed);
+            let exact = ExactSolver::new().solve(&m);
+            assert!(exact.optimal);
+            let ls = local_search_cover(&m, &LocalSearchConfig::default());
+            assert_eq!(
+                ls.len(),
+                exact.rows.len(),
+                "seed {seed}: local search {} vs optimum {}",
+                ls.len(),
+                exact.rows.len()
+            );
+        }
+    }
+
+    #[test]
+    fn no_worse_than_greedy() {
+        let m = detection_shaped(60, 200, 9);
+        let g = greedy_cover(&m).len();
+        let ls = local_search_cover(&m, &LocalSearchConfig::default()).len();
+        assert!(ls <= g, "local search {ls} vs greedy {g}");
+    }
+
+    #[test]
+    fn redundancy_elimination_is_minimal() {
+        let m = random_instance(20, 50, 0.2, 5);
+        let all: Vec<usize> = (0..20).collect();
+        let minimal = eliminate_redundant(&m, &all);
+        assert!(m.is_cover(&minimal));
+        // removing any remaining row must break the cover
+        for skip in 0..minimal.len() {
+            let without: Vec<usize> = minimal
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &r)| r)
+                .collect();
+            assert!(!m.is_cover(&without), "row {skip} still redundant");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let m = detection_shaped(40, 120, 3);
+        let cfg = LocalSearchConfig::default();
+        assert_eq!(local_search_cover(&m, &cfg), local_search_cover(&m, &cfg));
+    }
+
+    #[test]
+    fn pure_descent_mode() {
+        let m = random_instance(20, 40, 0.15, 2);
+        let cfg = LocalSearchConfig {
+            temperature: 0.0,
+            ..LocalSearchConfig::default()
+        };
+        let cover = local_search_cover(&m, &cfg);
+        assert!(m.is_cover(&cover));
+    }
+}

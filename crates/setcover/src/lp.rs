@@ -1,0 +1,142 @@
+//! LP-format export, preserving the paper's LINGO workflow.
+//!
+//! The paper post-processes the reduced matrix with the commercial LINGO
+//! package. To keep that path open, [`to_lp`] serialises an instance in
+//! the widely understood `lp_solve`/CPLEX-LP textual format, which LINGO
+//! (and every other ILP solver) can ingest:
+//!
+//! ```text
+//! /* set covering: 3 rows x 2 cols */
+//! min: x0 + x1 + x2;
+//! c0: x0 + x2 >= 1;
+//! c1: x1 >= 1;
+//! int x0,x1,x2;
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::matrix::DetectionMatrix;
+
+/// Serialises the instance as an `lp_solve`-format integer program.
+///
+/// Columns covered by no row are skipped (they would make the program
+/// infeasible); they are reported in a comment header instead.
+///
+/// # Example
+///
+/// ```
+/// use fbist_setcover::{lp, DetectionMatrix};
+/// use fbist_bits::BitVec;
+///
+/// let rows: Vec<BitVec> = ["10", "01"].iter().map(|s| s.parse().unwrap()).collect();
+/// let text = lp::to_lp(&DetectionMatrix::from_rows(2, rows));
+/// assert!(text.contains("min: x0 + x1;"));
+/// assert!(text.contains("c0: x1 >= 1;"));
+/// ```
+pub fn to_lp(matrix: &DetectionMatrix) -> String {
+    let mut out = String::new();
+    let uncoverable = matrix.uncoverable_cols();
+    let _ = writeln!(
+        out,
+        "/* set covering: {} rows x {} cols{} */",
+        matrix.rows(),
+        matrix.cols(),
+        if uncoverable.is_empty() {
+            String::new()
+        } else {
+            format!("; {} uncoverable columns skipped", uncoverable.len())
+        }
+    );
+
+    // objective
+    out.push_str("min: ");
+    for r in 0..matrix.rows() {
+        if r > 0 {
+            out.push_str(" + ");
+        }
+        let _ = write!(out, "x{r}");
+    }
+    out.push_str(";\n");
+
+    // constraints
+    for c in 0..matrix.cols() {
+        let rows = matrix.covering_rows(c);
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "c{c}: ");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" + ");
+            }
+            let _ = write!(out, "x{r}");
+        }
+        out.push_str(" >= 1;\n");
+    }
+
+    // integrality
+    if matrix.rows() > 0 {
+        out.push_str("int ");
+        for r in 0..matrix.rows() {
+            if r > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "x{r}");
+        }
+        out.push_str(";\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_bits::BitVec;
+
+    fn m(rows: &[&str]) -> DetectionMatrix {
+        let cols = rows[0].len();
+        DetectionMatrix::from_rows(cols, rows.iter().map(|s| s.parse().unwrap()).collect())
+    }
+
+    #[test]
+    fn full_structure() {
+        let text = to_lp(&m(&["110", "011"]));
+        assert!(text.starts_with("/* set covering: 2 rows x 3 cols */"));
+        assert!(text.contains("min: x0 + x1;"));
+        assert!(text.contains("c0: x1 >= 1;"));
+        assert!(text.contains("c1: x0 + x1 >= 1;"));
+        assert!(text.contains("c2: x0 >= 1;"));
+        assert!(text.trim_end().ends_with("int x0,x1;"));
+    }
+
+    #[test]
+    fn uncoverable_columns_skipped_with_note() {
+        let text = to_lp(&m(&["10", "10"]));
+        assert!(text.contains("1 uncoverable columns skipped"));
+        assert!(!text.contains("c0:"));
+        assert!(text.contains("c1: x0 + x1 >= 1;"));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let text = to_lp(&DetectionMatrix::from_rows(0, vec![]));
+        assert!(text.contains("0 rows x 0 cols"));
+        assert!(!text.contains("int"));
+    }
+
+    #[test]
+    fn constraint_count_matches_cols() {
+        let rows: Vec<BitVec> = (0..5)
+            .map(|i| {
+                let mut v = BitVec::zeros(7);
+                v.set(i, true);
+                v.set((i + 1) % 7, true);
+                v
+            })
+            .collect();
+        let mat = DetectionMatrix::from_rows(7, rows);
+        let text = to_lp(&mat);
+        let constraints = text.lines().filter(|l| l.starts_with('c')).count();
+        assert_eq!(constraints, 7 - mat.uncoverable_cols().len());
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use fbist_netlist::NetlistError;
+
+/// Errors produced when constructing or driving a simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A combinational-only simulator was given a sequential netlist.
+    SequentialNetlist {
+        /// Number of flip-flops found.
+        dffs: usize,
+    },
+    /// The netlist failed validation/levelisation.
+    Netlist(NetlistError),
+    /// An input vector had the wrong width.
+    InputWidth {
+        /// Width the circuit expects (number of primary inputs).
+        expected: usize,
+        /// Width supplied by the caller.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SequentialNetlist { dffs } => write!(
+                f,
+                "combinational simulator given a netlist with {dffs} flip-flops (apply full_scan first)"
+            ),
+            SimError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+            SimError::InputWidth { expected, got } => {
+                write!(f, "input width mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}

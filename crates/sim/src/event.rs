@@ -1,0 +1,222 @@
+//! Single-pattern event-driven simulation.
+
+use fbist_bits::BitVec;
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+use crate::SimError;
+
+/// Event-driven single-pattern simulator.
+///
+/// Keeps the circuit's value state between calls and, on each new input
+/// pattern, re-evaluates only the fanout cones of the inputs that changed.
+/// For test sets with high pattern-to-pattern correlation (e.g. accumulator
+/// sequences, where consecutive patterns differ in few bits) this evaluates
+/// far fewer gates than a full sweep; the `fault_sim` bench quantifies the
+/// trade-off against [`PackedSimulator`](crate::PackedSimulator).
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_sim::EventSimulator;
+/// use fbist_bits::BitVec;
+///
+/// let mut sim = EventSimulator::new(&embedded::majority())?;
+/// let r = sim.apply(&"110".parse().unwrap());
+/// assert_eq!(r.get(0), true);
+/// let r = sim.apply(&"100".parse().unwrap()); // one input flips
+/// assert_eq!(r.get(0), false);
+/// assert!(sim.last_eval_count() <= 5);
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventSimulator {
+    netlist: Netlist,
+    order: Vec<GateId>,
+    /// position of each gate in `order` (for the event queue ordering)
+    rank: Vec<usize>,
+    fanouts: Vec<Vec<GateId>>,
+    values: Vec<bool>,
+    initialized: bool,
+    last_eval: usize,
+}
+
+impl EventSimulator {
+    /// Builds an event-driven simulator for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] for sequential netlists and
+    /// [`SimError::Netlist`] for invalid ones.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        if !netlist.is_combinational() {
+            return Err(SimError::SequentialNetlist {
+                dffs: netlist.dffs().len(),
+            });
+        }
+        let order = netlist.levelize()?;
+        let mut rank = vec![0usize; netlist.gate_count()];
+        for (i, &g) in order.iter().enumerate() {
+            rank[g.index()] = i;
+        }
+        let fanouts = netlist.fanouts();
+        let values = vec![false; netlist.gate_count()];
+        Ok(EventSimulator {
+            netlist: netlist.clone(),
+            order,
+            rank,
+            fanouts,
+            values,
+            initialized: false,
+            last_eval: 0,
+        })
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of gate evaluations performed by the most recent
+    /// [`apply`](EventSimulator::apply) call.
+    pub fn last_eval_count(&self) -> usize {
+        self.last_eval
+    }
+
+    fn eval_gate(&self, id: GateId) -> bool {
+        let g = self.netlist.gate(id);
+        let vals = |f: &GateId| self.values[f.index()];
+        match g.kind() {
+            GateKind::And => g.fanin().iter().all(&vals),
+            GateKind::Nand => !g.fanin().iter().all(&vals),
+            GateKind::Or => g.fanin().iter().any(&vals),
+            GateKind::Nor => !g.fanin().iter().any(&vals),
+            GateKind::Xor => g.fanin().iter().filter(|f| vals(f)).count() % 2 == 1,
+            GateKind::Xnor => g.fanin().iter().filter(|f| vals(f)).count() % 2 == 0,
+            GateKind::Not => !vals(&g.fanin()[0]),
+            GateKind::Buff => vals(&g.fanin()[0]),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Input | GateKind::Dff => self.values[id.index()],
+        }
+    }
+
+    /// Applies a pattern and returns the primary-output response.
+    ///
+    /// The first call performs a full evaluation; subsequent calls propagate
+    /// only the changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the input count.
+    pub fn apply(&mut self, pattern: &BitVec) -> BitVec {
+        assert_eq!(
+            pattern.width(),
+            self.netlist.inputs().len(),
+            "pattern width must equal the primary input count"
+        );
+        self.last_eval = 0;
+        if !self.initialized {
+            for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+                self.values[pi.index()] = pattern.get(k);
+            }
+            for &id in &self.order.clone() {
+                let kind = self.netlist.gate(id).kind();
+                if kind == GateKind::Input {
+                    continue;
+                }
+                self.values[id.index()] = self.eval_gate(id);
+                self.last_eval += 1;
+            }
+            self.initialized = true;
+        } else {
+            // Seed the event heap with changed inputs; process gates in
+            // topological rank order so each gate is evaluated at most once.
+            let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, u32)>> =
+                std::collections::BinaryHeap::new();
+            let mut queued = vec![false; self.netlist.gate_count()];
+            for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+                let nv = pattern.get(k);
+                if self.values[pi.index()] != nv {
+                    self.values[pi.index()] = nv;
+                    for &fo in &self.fanouts[pi.index()] {
+                        if !queued[fo.index()] {
+                            queued[fo.index()] = true;
+                            heap.push(std::cmp::Reverse((self.rank[fo.index()], fo.index() as u32)));
+                        }
+                    }
+                }
+            }
+            while let Some(std::cmp::Reverse((_, idx))) = heap.pop() {
+                let id = GateId::from_index(idx as usize);
+                queued[idx as usize] = false;
+                let nv = self.eval_gate(id);
+                self.last_eval += 1;
+                if nv != self.values[idx as usize] {
+                    self.values[idx as usize] = nv;
+                    for &fo in &self.fanouts[idx as usize] {
+                        if !queued[fo.index()] {
+                            queued[fo.index()] = true;
+                            heap.push(std::cmp::Reverse((self.rank[fo.index()], fo.index() as u32)));
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = BitVec::zeros(self.netlist.outputs().len());
+        for (i, &o) in self.netlist.outputs().iter().enumerate() {
+            if self.values[o.index()] {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackedSimulator;
+    use fbist_netlist::embedded;
+
+    #[test]
+    fn matches_packed_simulator() {
+        let n = embedded::adder4();
+        let mut esim = EventSimulator::new(&n).unwrap();
+        let psim = PackedSimulator::new(&n).unwrap();
+        // pseudo-random walk with single-bit flips
+        let mut p = BitVec::zeros(9);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            p.toggle((state % 9) as usize);
+            let er = esim.apply(&p);
+            let pr = &psim.simulate_patterns(std::slice::from_ref(&p))[0];
+            assert_eq!(&er, pr);
+        }
+    }
+
+    #[test]
+    fn incremental_is_cheaper_than_full() {
+        let n = embedded::adder4();
+        let mut sim = EventSimulator::new(&n).unwrap();
+        let p = BitVec::zeros(9);
+        sim.apply(&p);
+        let full = sim.last_eval_count();
+        // flip a3 only: affects at most the high-order slice
+        let mut p2 = p.clone();
+        p2.set(3, true);
+        sim.apply(&p2);
+        assert!(sim.last_eval_count() < full);
+        // unchanged pattern: zero evaluations
+        sim.apply(&p2);
+        assert_eq!(sim.last_eval_count(), 0);
+    }
+
+    #[test]
+    fn rejects_sequential() {
+        assert!(EventSimulator::new(&embedded::johnson3()).is_err());
+    }
+}

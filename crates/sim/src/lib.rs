@@ -1,0 +1,86 @@
+//! Gate-level logic simulation.
+//!
+//! Four simulators, one per use case in the reseeding flow:
+//!
+//! * [`PackedSimulator`] — 64-way bit-parallel combinational simulation
+//!   (one `u64` per net carries 64 pattern lanes). This is the workhorse
+//!   behind fault simulation and detection-matrix construction.
+//! * [`SeqSimulator`] — cycle-accurate sequential simulation of netlists
+//!   with flip-flops, also 64 lanes wide (64 independent executions).
+//! * [`TritSimulator`] — three-valued (`0`/`1`/`X`) single-pattern
+//!   simulation of [`Cube`](fbist_bits::Cube)s, used to reason about
+//!   partially specified patterns.
+//! * [`EventSimulator`] — classic single-pattern event-driven simulation,
+//!   kept as a cross-check and for the ablation benchmarks;
+//! * [`Misr`] — multiple-input signature register for output-response
+//!   compaction, the observation side of a real BIST datapath.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_netlist::embedded;
+//! use fbist_sim::PackedSimulator;
+//! use fbist_bits::BitVec;
+//!
+//! let c17 = embedded::c17();
+//! let sim = PackedSimulator::new(&c17)?;
+//! let responses = sim.simulate_patterns(&[BitVec::ones(5)]);
+//! assert_eq!(responses.len(), 1);
+//! assert_eq!(responses[0].width(), 2);
+//! # Ok::<(), fbist_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod misr;
+mod packed;
+mod seq;
+mod threeval;
+
+pub use error::SimError;
+pub use event::EventSimulator;
+pub use misr::Misr;
+pub use packed::PackedSimulator;
+pub use seq::SeqSimulator;
+pub use threeval::TritSimulator;
+
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+/// Evaluates one gate over packed values stored in a flat per-net array.
+///
+/// This is the inner loop of every simulator in this crate; it avoids
+/// materialising a fanin slice per gate.
+#[inline]
+pub(crate) fn eval_gate_packed(kind: GateKind, fanin: &[GateId], values: &[u64]) -> u64 {
+    match kind {
+        GateKind::And => fanin.iter().fold(u64::MAX, |a, f| a & values[f.index()]),
+        GateKind::Nand => !fanin.iter().fold(u64::MAX, |a, f| a & values[f.index()]),
+        GateKind::Or => fanin.iter().fold(0u64, |a, f| a | values[f.index()]),
+        GateKind::Nor => !fanin.iter().fold(0u64, |a, f| a | values[f.index()]),
+        GateKind::Xor => fanin.iter().fold(0u64, |a, f| a ^ values[f.index()]),
+        GateKind::Xnor => !fanin.iter().fold(0u64, |a, f| a ^ values[f.index()]),
+        GateKind::Not => !values[fanin[0].index()],
+        GateKind::Buff => values[fanin[0].index()],
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Input | GateKind::Dff => unreachable!("sources are assigned, not evaluated"),
+    }
+}
+
+/// Evaluates every non-source gate of `netlist` in `order`, reading and
+/// writing the flat `values` array. Input and DFF values must already be
+/// assigned.
+#[inline]
+pub(crate) fn sweep(netlist: &Netlist, order: &[GateId], values: &mut [u64]) {
+    for &id in order {
+        let g = netlist.gate(id);
+        let k = g.kind();
+        if k == GateKind::Input || k == GateKind::Dff {
+            continue;
+        }
+        values[id.index()] = eval_gate_packed(k, g.fanin(), values);
+    }
+}

@@ -1,0 +1,234 @@
+//! 64-way bit-parallel combinational simulation.
+
+use fbist_bits::{pack, BitVec};
+use fbist_netlist::{GateId, Netlist};
+
+use crate::{sweep, SimError};
+
+/// Bit-parallel combinational simulator.
+///
+/// One `u64` per net holds the net's value under up to 64 input patterns
+/// simultaneously (bit `k` = lane `k`). A full evaluation of the circuit
+/// under 64 patterns costs one pass over the levelised gate list.
+///
+/// The simulator owns a clone of the netlist and its topological order, so
+/// it can be handed around independently of the original.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_sim::PackedSimulator;
+/// use fbist_bits::BitVec;
+///
+/// let adder = embedded::adder4();
+/// let sim = PackedSimulator::new(&adder)?;
+/// // inputs are a0..a3, b0..b3, cin; compute 3 + 5
+/// let mut p = BitVec::zeros(9);
+/// p.set(0, true); p.set(1, true);       // a = 0b0011
+/// p.set(4, true); p.set(6, true);       // b = 0b0101
+/// let r = sim.simulate_patterns(&[p]);
+/// // outputs are s0..s3, cout; 3 + 5 = 8 = 0b1000
+/// assert_eq!(r[0].to_u64(), Some(0b01000));
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedSimulator {
+    netlist: Netlist,
+    order: Vec<GateId>,
+}
+
+impl PackedSimulator {
+    /// Builds a simulator for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] if the netlist contains
+    /// flip-flops (apply [`fbist_netlist::full_scan`] first) and
+    /// [`SimError::Netlist`] if it fails levelisation.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        if !netlist.is_combinational() {
+            return Err(SimError::SequentialNetlist {
+                dffs: netlist.dffs().len(),
+            });
+        }
+        let order = netlist.levelize()?;
+        Ok(PackedSimulator {
+            netlist: netlist.clone(),
+            order,
+        })
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The topological evaluation order (sources first).
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.netlist.inputs().len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.netlist.outputs().len()
+    }
+
+    /// Allocates a value buffer of the right size (one word per net).
+    pub fn value_buffer(&self) -> Vec<u64> {
+        vec![0u64; self.netlist.gate_count()]
+    }
+
+    /// Evaluates one 64-lane block in place.
+    ///
+    /// `pi_words[k]` is the packed word of primary input `k` (see
+    /// [`fbist_bits::pack`]); on return `values[net]` holds every net's
+    /// packed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words` is shorter than the input count or `values`
+    /// shorter than the gate count.
+    pub fn eval_block_into(&self, pi_words: &[u64], values: &mut [u64]) {
+        for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+            values[pi.index()] = pi_words[k];
+        }
+        sweep(&self.netlist, &self.order, values);
+    }
+
+    /// Extracts the packed primary-output words from a value buffer.
+    pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect()
+    }
+
+    /// Simulates an arbitrary number of patterns, returning one response
+    /// [`BitVec`] (over the primary outputs) per pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn simulate_patterns(&self, patterns: &[BitVec]) -> Vec<BitVec> {
+        let mut responses = Vec::with_capacity(patterns.len());
+        let mut values = self.value_buffer();
+        for chunk in patterns.chunks(pack::BLOCK) {
+            let pi_words = pack::pack_patterns(self.input_count(), chunk);
+            self.eval_block_into(&pi_words, &mut values);
+            let po_words = self.output_words(&values);
+            responses.extend(pack::unpack_patterns(&po_words, chunk.len()));
+        }
+        responses
+    }
+
+    /// Simulates a single pattern and also returns the full per-net value
+    /// map (as booleans), useful for debugging and for the event-driven
+    /// simulator cross-checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the input count.
+    pub fn simulate_full(&self, pattern: &BitVec) -> (BitVec, Vec<bool>) {
+        let mut values = self.value_buffer();
+        let pi_words = pack::pack_patterns(self.input_count(), std::slice::from_ref(pattern));
+        self.eval_block_into(&pi_words, &mut values);
+        let po_words = self.output_words(&values);
+        let response = pack::unpack_patterns(&po_words, 1).remove(0);
+        let nets = values.iter().map(|&w| w & 1 == 1).collect();
+        (response, nets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::{bench, embedded};
+
+    #[test]
+    fn c17_known_vectors() {
+        let sim = PackedSimulator::new(&embedded::c17()).unwrap();
+        // inputs 1,2,3,6,7 ; outputs 22,23
+        // all zeros: 10=NAND(0,0)=1, 11=1, 16=NAND(0,1)=1, 19=1,
+        //            22=NAND(1,1)=0, 23=NAND(1,1)=0
+        let r = sim.simulate_patterns(&[BitVec::zeros(5)]);
+        assert_eq!(r[0].to_u64(), Some(0b00));
+        // all ones: 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
+        //           22=NAND(0,1)=1, 23=NAND(1,1)=0
+        let r = sim.simulate_patterns(&[BitVec::ones(5)]);
+        assert_eq!(r[0].to_u64(), Some(0b01));
+    }
+
+    #[test]
+    fn adder_exhaustive() {
+        let sim = PackedSimulator::new(&embedded::adder4()).unwrap();
+        // exhaustive over a, b, cin: 512 patterns
+        let mut patterns = Vec::new();
+        let mut expect = Vec::new();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                for cin in 0u64..2 {
+                    let mut p = BitVec::zeros(9);
+                    for i in 0..4 {
+                        p.set(i, (a >> i) & 1 == 1);
+                        p.set(4 + i, (b >> i) & 1 == 1);
+                    }
+                    p.set(8, cin == 1);
+                    patterns.push(p);
+                    expect.push(a + b + cin);
+                }
+            }
+        }
+        let responses = sim.simulate_patterns(&patterns);
+        for (r, e) in responses.iter().zip(&expect) {
+            assert_eq!(r.to_u64(), Some(*e & 0x1F), "sum mismatch");
+        }
+    }
+
+    #[test]
+    fn rejects_sequential() {
+        let err = PackedSimulator::new(&embedded::johnson3()).unwrap_err();
+        assert!(matches!(err, SimError::SequentialNetlist { dffs: 3 }));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        // 130 patterns crosses two block boundaries
+        let sim = PackedSimulator::new(&embedded::majority()).unwrap();
+        let patterns: Vec<BitVec> = (0..130u64).map(|v| BitVec::from_u64(3, v % 8)).collect();
+        let rs = sim.simulate_patterns(&patterns);
+        assert_eq!(rs.len(), 130);
+        for (p, r) in patterns.iter().zip(&rs) {
+            let bits = p.to_u64().unwrap();
+            let maj = (bits.count_ones() >= 2) as u64;
+            assert_eq!(r.to_u64(), Some(maj | ((1 - maj) << 1)));
+        }
+    }
+
+    #[test]
+    fn simulate_full_exposes_internals() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = AND(a, b)\ny = NOT(m)\n";
+        let n = bench::parse(src).unwrap();
+        let sim = PackedSimulator::new(&n).unwrap();
+        let p: BitVec = "11".parse().unwrap();
+        let (r, nets) = sim.simulate_full(&p);
+        assert_eq!(r.to_u64(), Some(0));
+        let m = n.find("m").unwrap();
+        assert!(nets[m.index()]);
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let src = "OUTPUT(y)\nc1 = CONST1()\nc0 = CONST0()\ny = AND(c1, c0)\n";
+        let n = bench::parse(src).unwrap();
+        let sim = PackedSimulator::new(&n).unwrap();
+        let r = sim.simulate_patterns(&[BitVec::zeros(0)]);
+        assert_eq!(r[0].to_u64(), Some(0));
+    }
+}

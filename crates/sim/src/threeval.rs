@@ -1,0 +1,158 @@
+//! Three-valued (0/1/X) simulation of partially specified patterns.
+
+use fbist_bits::{Cube, Trit};
+use fbist_netlist::{eval_trit, GateId, GateKind, Netlist};
+
+use crate::SimError;
+
+/// Three-valued combinational simulator.
+///
+/// Evaluates a [`Cube`] (a partially specified input assignment) through
+/// the circuit using pessimistic Kleene logic: a net is `X` exactly when
+/// the unspecified inputs could still drive it either way *locally* (the
+/// usual, slightly pessimistic, three-valued semantics).
+///
+/// Used to check what a test cube guarantees regardless of fill, e.g.
+/// whether an ATPG cube still propagates a fault after compaction.
+///
+/// # Example
+///
+/// ```
+/// use fbist_netlist::embedded;
+/// use fbist_sim::TritSimulator;
+/// use fbist_bits::{Cube, Trit};
+///
+/// let sim = TritSimulator::new(&embedded::majority())?;
+/// // a=1, b=1, c=X  ->  majority is 1 regardless of c
+/// let outs = sim.simulate_cube(&"X11".parse().unwrap());
+/// assert_eq!(outs[0], Trit::One);
+/// assert_eq!(outs[1], Trit::Zero); // inverted output
+/// # Ok::<(), fbist_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TritSimulator {
+    netlist: Netlist,
+    order: Vec<GateId>,
+}
+
+impl TritSimulator {
+    /// Builds a three-valued simulator for a combinational netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SequentialNetlist`] for sequential netlists and
+    /// [`SimError::Netlist`] for invalid ones.
+    pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
+        if !netlist.is_combinational() {
+            return Err(SimError::SequentialNetlist {
+                dffs: netlist.dffs().len(),
+            });
+        }
+        let order = netlist.levelize()?;
+        Ok(TritSimulator {
+            netlist: netlist.clone(),
+            order,
+        })
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Evaluates the cube, returning the primary-output trits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the input count.
+    pub fn simulate_cube(&self, cube: &Cube) -> Vec<Trit> {
+        let nets = self.simulate_cube_full(cube);
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| nets[o.index()])
+            .collect()
+    }
+
+    /// Evaluates the cube, returning every net's trit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the input count.
+    pub fn simulate_cube_full(&self, cube: &Cube) -> Vec<Trit> {
+        assert_eq!(
+            cube.width(),
+            self.netlist.inputs().len(),
+            "cube width must equal the primary input count"
+        );
+        let mut nets = vec![Trit::X; self.netlist.gate_count()];
+        for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+            nets[pi.index()] = cube.get(k);
+        }
+        let mut fanin_buf: Vec<Trit> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let g = self.netlist.gate(id);
+            let kind = g.kind();
+            if kind == GateKind::Input || kind == GateKind::Dff {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(g.fanin().iter().map(|f| nets[f.index()]));
+            nets[id.index()] = eval_trit(kind, &fanin_buf);
+        }
+        nets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_bits::BitVec;
+    use fbist_netlist::embedded;
+
+    #[test]
+    fn fully_specified_matches_packed() {
+        use crate::PackedSimulator;
+        let n = embedded::c17();
+        let tsim = TritSimulator::new(&n).unwrap();
+        let psim = PackedSimulator::new(&n).unwrap();
+        for v in 0u64..32 {
+            let p = BitVec::from_u64(5, v);
+            let cube = Cube::from_pattern(&p);
+            let trits = tsim.simulate_cube(&cube);
+            let resp = &psim.simulate_patterns(std::slice::from_ref(&p))[0];
+            for (i, t) in trits.iter().enumerate() {
+                assert_eq!(t.to_bool(), Some(resp.get(i)), "pattern {v} output {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_propagates_when_undetermined() {
+        let sim = TritSimulator::new(&embedded::majority()).unwrap();
+        // a=1, b=X, c=X: majority could be 0 or 1
+        let outs = sim.simulate_cube(&"XX1".parse().unwrap());
+        assert_eq!(outs[0], Trit::X);
+    }
+
+    #[test]
+    fn controlling_value_dominates_x() {
+        let sim = TritSimulator::new(&embedded::majority()).unwrap();
+        // a=0, b=0: majority is 0 regardless of c
+        let outs = sim.simulate_cube(&"X00".parse().unwrap());
+        assert_eq!(outs[0], Trit::Zero);
+        assert_eq!(outs[1], Trit::One);
+    }
+
+    #[test]
+    fn rejects_sequential() {
+        assert!(TritSimulator::new(&embedded::johnson3()).is_err());
+    }
+
+    #[test]
+    fn all_x_in_gives_x_out() {
+        let sim = TritSimulator::new(&embedded::c17()).unwrap();
+        let outs = sim.simulate_cube(&Cube::all_x(5));
+        assert!(outs.iter().all(|&t| t == Trit::X));
+    }
+}

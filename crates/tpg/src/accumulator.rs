@@ -1,0 +1,213 @@
+//! Accumulator-based TPGs: the paper's adder, subtracter and multiplier
+//! units.
+
+use fbist_bits::BitVec;
+
+use crate::generator::PatternGenerator;
+use crate::triplet::Triplet;
+
+/// The arithmetic function of the accumulator datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccumulatorOp {
+    /// `S ← S + θ (mod 2^w)` — adder-based accumulator.
+    Add,
+    /// `S ← S − θ (mod 2^w)` — subtracter-based accumulator.
+    Sub,
+    /// `S ← S × θ (mod 2^w)` — multiplier-based accumulator.
+    Mul,
+}
+
+impl AccumulatorOp {
+    /// All three paper TPG flavours, in Table-1 order.
+    pub const ALL: [AccumulatorOp; 3] = [AccumulatorOp::Add, AccumulatorOp::Sub, AccumulatorOp::Mul];
+
+    /// Short name used in tables (`add` / `sub` / `mul`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccumulatorOp::Add => "add",
+            AccumulatorOp::Sub => "sub",
+            AccumulatorOp::Mul => "mul",
+        }
+    }
+
+    /// Applies the operation.
+    pub fn apply(self, state: &BitVec, theta: &BitVec) -> BitVec {
+        match self {
+            AccumulatorOp::Add => state.wrapping_add(theta),
+            AccumulatorOp::Sub => state.wrapping_sub(theta),
+            AccumulatorOp::Mul => state.wrapping_mul(theta),
+        }
+    }
+}
+
+impl std::fmt::Display for AccumulatorOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An accumulator-based test pattern generator.
+///
+/// The module has a `w`-bit state register `S` (the accumulator) and a
+/// `w`-bit input register `θ`. Each clock cycle computes
+/// `S ← S ∘ θ (mod 2^w)` with `∘ ∈ {+, −, ×}`; the accumulator output
+/// drives the UUT inputs.
+///
+/// Expansion of `(δ, θ, τ)` follows the paper's convention (see the crate
+/// docs): the input register content `θ` is applied to the UUT first, then
+/// the accumulator — initialised to `δ` — evolves for `τ` cycles:
+///
+/// ```text
+/// TS = [ θ, S₁, S₂, …, S_τ ]    S₀ = δ,  S_{j+1} = S_j ∘ θ
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use fbist_tpg::{AccumulatorTpg, AccumulatorOp, PatternGenerator, Triplet};
+/// use fbist_bits::BitVec;
+///
+/// let sub = AccumulatorTpg::new(8, AccumulatorOp::Sub);
+/// let t = Triplet::new(BitVec::from_u64(8, 10), BitVec::from_u64(8, 3), 2);
+/// let vals: Vec<u64> = sub.expand(&t).iter().map(|p| p.to_u64().unwrap()).collect();
+/// assert_eq!(vals, vec![3, 7, 4]); // θ, 10-3, 7-3
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccumulatorTpg {
+    width: usize,
+    op: AccumulatorOp,
+    name: String,
+}
+
+impl AccumulatorTpg {
+    /// Creates an accumulator TPG of the given width and operation.
+    pub fn new(width: usize, op: AccumulatorOp) -> AccumulatorTpg {
+        AccumulatorTpg {
+            width,
+            op,
+            name: op.name().to_owned(),
+        }
+    }
+
+    /// The arithmetic operation.
+    pub fn op(&self) -> AccumulatorOp {
+        self.op
+    }
+
+    /// One evolution step `S ∘ θ`.
+    pub fn step(&self, state: &BitVec, theta: &BitVec) -> BitVec {
+        self.op.apply(state, theta)
+    }
+}
+
+impl PatternGenerator for AccumulatorTpg {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec> {
+        assert_eq!(triplet.width(), self.width, "triplet width mismatch");
+        let mut out = Vec::with_capacity(triplet.pattern_count());
+        out.push(triplet.theta().clone());
+        let mut state = triplet.delta().clone();
+        for _ in 0..triplet.tau() {
+            state = self.op.apply(&state, triplet.theta());
+            out.push(state.clone());
+        }
+        out
+    }
+
+    fn seed_for(&self, pattern: &BitVec, word_source: &mut dyn FnMut() -> u64) -> Triplet {
+        assert_eq!(pattern.width(), self.width, "pattern width mismatch");
+        let delta = BitVec::random_with(self.width, &mut *word_source);
+        Triplet::new(delta, pattern.clone(), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed | 1;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn add_expansion_arithmetic() {
+        let tpg = AccumulatorTpg::new(16, AccumulatorOp::Add);
+        let t = Triplet::new(BitVec::from_u64(16, 0xFFF0), BitVec::from_u64(16, 0x20), 3);
+        let vals: Vec<u64> = tpg.expand(&t).iter().map(|p| p.to_u64().unwrap()).collect();
+        assert_eq!(vals, vec![0x20, 0x10, 0x30, 0x50]); // wraps at 2^16
+    }
+
+    #[test]
+    fn sub_expansion_arithmetic() {
+        let tpg = AccumulatorTpg::new(8, AccumulatorOp::Sub);
+        let t = Triplet::new(BitVec::from_u64(8, 1), BitVec::from_u64(8, 2), 2);
+        let vals: Vec<u64> = tpg.expand(&t).iter().map(|p| p.to_u64().unwrap()).collect();
+        assert_eq!(vals, vec![2, 255, 253]); // 1-2 wraps to 255
+    }
+
+    #[test]
+    fn mul_expansion_arithmetic() {
+        let tpg = AccumulatorTpg::new(8, AccumulatorOp::Mul);
+        let t = Triplet::new(BitVec::from_u64(8, 3), BitVec::from_u64(8, 5), 3);
+        let vals: Vec<u64> = tpg.expand(&t).iter().map(|p| p.to_u64().unwrap()).collect();
+        assert_eq!(vals, vec![5, 15, 75, (75 * 5) % 256]);
+    }
+
+    #[test]
+    fn tau_zero_reproduces_pattern() {
+        for op in AccumulatorOp::ALL {
+            let tpg = AccumulatorTpg::new(80, op);
+            let mut src = xorshift(7 + op.name().len() as u64);
+            let p = BitVec::random_with(80, &mut src);
+            let t = tpg.seed_for(&p, &mut src);
+            assert_eq!(t.tau(), 0);
+            assert_eq!(tpg.expand(&t), vec![p.clone()], "{op}");
+        }
+    }
+
+    #[test]
+    fn expansion_length_is_tau_plus_one() {
+        let tpg = AccumulatorTpg::new(8, AccumulatorOp::Add);
+        for tau in [0usize, 1, 5, 63] {
+            let t = Triplet::new(BitVec::from_u64(8, 7), BitVec::from_u64(8, 9), tau);
+            assert_eq!(tpg.expand(&t).len(), tau + 1);
+        }
+    }
+
+    #[test]
+    fn mul_by_even_theta_converges_to_zero() {
+        // a known degeneracy of multiplier accumulators the paper's Table 1
+        // reflects (multiplier TPGs often need different seeds)
+        let tpg = AccumulatorTpg::new(8, AccumulatorOp::Mul);
+        let t = Triplet::new(BitVec::from_u64(8, 0xFF), BitVec::from_u64(8, 2), 8);
+        let ts = tpg.expand(&t);
+        assert!(ts.last().unwrap().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let tpg = AccumulatorTpg::new(8, AccumulatorOp::Add);
+        let t = Triplet::new(BitVec::zeros(9), BitVec::zeros(9), 0);
+        let _ = tpg.expand(&t);
+    }
+
+    #[test]
+    fn names_match_table_order() {
+        let names: Vec<&str> = AccumulatorOp::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["add", "sub", "mul"]);
+    }
+}

@@ -1,0 +1,86 @@
+//! The pattern-generator abstraction.
+
+use fbist_bits::BitVec;
+
+use crate::triplet::Triplet;
+
+/// A deterministic test pattern generator that expands reseeding triplets
+/// into pattern sequences.
+///
+/// Implementations model the *functional* behaviour of the hardware module
+/// used as TPG — the actual netlist of the module is irrelevant to the
+/// reseeding computation, which only needs the emitted sequences (this is
+/// exactly the paper's "behavioral description of the TPG" input).
+///
+/// # Contract
+///
+/// For every pattern `p` of the generator's width and any word source:
+///
+/// * `seed_for(p, src)` returns a triplet `t` with `t.tau() == 0`, and
+/// * `expand(&t)` is exactly `[p]`.
+///
+/// This is what makes the paper's initial-reseeding construction work: one
+/// triplet per ATPG pattern with `τ = 0` reproduces `ATPGTS` verbatim.
+/// `expand` must always return `triplet.tau() + 1` patterns.
+///
+/// The trait is object-safe; the reseeding flow stores TPGs as
+/// `Box<dyn PatternGenerator>`.
+pub trait PatternGenerator {
+    /// Register/pattern width in bits.
+    fn width(&self) -> usize;
+
+    /// Short human-readable name (used in reports and tables, e.g.
+    /// `"add"`, `"mul"`, `"lfsr"`).
+    fn name(&self) -> &str;
+
+    /// Expands a triplet into its `τ + 1` test patterns.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the triplet width differs from
+    /// [`width`](PatternGenerator::width).
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec>;
+
+    /// Builds a `τ = 0` triplet whose expansion is exactly `[pattern]`.
+    ///
+    /// `word_source` provides entropy for the parts of the triplet that the
+    /// contract leaves free (e.g. the accumulator's random `δ`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the pattern width differs from
+    /// [`width`](PatternGenerator::width).
+    fn seed_for(&self, pattern: &BitVec, word_source: &mut dyn FnMut() -> u64) -> Triplet;
+}
+
+impl<T: PatternGenerator + ?Sized> PatternGenerator for Box<T> {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec> {
+        (**self).expand(triplet)
+    }
+
+    fn seed_for(&self, pattern: &BitVec, word_source: &mut dyn FnMut() -> u64) -> Triplet {
+        (**self).seed_for(pattern, word_source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccumulatorOp, AccumulatorTpg};
+
+    #[test]
+    fn trait_is_object_safe() {
+        let g: Box<dyn PatternGenerator> = Box::new(AccumulatorTpg::new(4, AccumulatorOp::Add));
+        assert_eq!(g.width(), 4);
+        let t = g.seed_for(&BitVec::from_u64(4, 9), &mut || 42);
+        assert_eq!(g.expand(&t), vec![BitVec::from_u64(4, 9)]);
+    }
+}

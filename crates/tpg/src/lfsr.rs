@@ -1,0 +1,433 @@
+//! Linear feedback shift register TPGs, including multiple-polynomial
+//! reseeding.
+//!
+//! LFSR reseeding is the classical deterministic-BIST encoding the paper's
+//! title refers to (Hellebrand et al., ITC 1992 / ICCAD 1995): instead of
+//! storing whole test patterns, store LFSR seeds — and, in the
+//! multiple-polynomial variant, a few bits selecting the feedback
+//! polynomial — and let the LFSR expand them on chip.
+
+use fbist_bits::BitVec;
+
+use crate::generator::PatternGenerator;
+use crate::triplet::Triplet;
+
+/// LFSR structure: where the feedback taps are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LfsrKind {
+    /// External-XOR (Fibonacci): one parity over the tapped bits feeds the
+    /// shift-in.
+    #[default]
+    Fibonacci,
+    /// Internal-XOR (Galois): the shifted-out bit is XOR-ed into the tapped
+    /// positions.
+    Galois,
+}
+
+/// Maximal-length tap positions (1-indexed, XAPP052-style) for the
+/// left-shift Fibonacci form used here: the feedback bit is the XOR of the
+/// listed register bits (bit `t` of the table is register index `t − 1`).
+/// For widths without an entry a `{w, 1}` fallback is used; sequences stay
+/// deterministic, just not guaranteed maximal-length. Widths 2–16 are
+/// verified maximal by an exhaustive test below.
+const MAXIMAL_TAPS: &[(usize, &[u32])] = &[
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 6, 4, 1]),
+    (13, &[13, 4, 3, 1]),
+    (14, &[14, 5, 3, 1]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 6, 2, 1]),
+    (20, &[20, 17]),
+    (21, &[21, 19]),
+    (22, &[22, 21]),
+    (23, &[23, 18]),
+    (24, &[24, 23, 22, 17]),
+    (25, &[25, 22]),
+    (26, &[26, 6, 2, 1]),
+    (27, &[27, 5, 2, 1]),
+    (28, &[28, 25]),
+    (29, &[29, 27]),
+    (30, &[30, 6, 4, 1]),
+    (31, &[31, 28]),
+    (32, &[32, 22, 2, 1]),
+    (48, &[48, 47, 21, 20]),
+    (64, &[64, 63, 61, 60]),
+];
+
+/// Default tap mask for a given width.
+fn default_taps(width: usize) -> BitVec {
+    assert!(width >= 2, "LFSR width must be at least 2");
+    let mut mask = BitVec::zeros(width);
+    match MAXIMAL_TAPS.iter().find(|&&(w, _)| w == width) {
+        Some(&(_, taps)) => {
+            for &t in taps {
+                mask.set(t as usize - 1, true);
+            }
+        }
+        None => {
+            // fallback {w, 1}: keeps the update a permutation (bit w−1
+            // participates in the feedback) though not necessarily maximal
+            mask.set(width - 1, true);
+            mask.set(0, true);
+        }
+    }
+    mask
+}
+
+/// A single-polynomial LFSR test pattern generator.
+///
+/// State is the `w`-bit register; each step shifts left by one and feeds
+/// back according to the tap mask. The emitted pattern is the whole state.
+///
+/// The all-zero state is the XOR-LFSR fixed point: a zero seed emits only
+/// zero patterns. The reseeding flow tolerates this (such a triplet simply
+/// covers whatever the zero pattern covers).
+///
+/// # Example
+///
+/// ```
+/// use fbist_tpg::{Lfsr, PatternGenerator, Triplet};
+/// use fbist_bits::BitVec;
+///
+/// let lfsr = Lfsr::maximal(3); // x^3 + x + 1, period 7
+/// let t = Triplet::new(BitVec::from_u64(3, 1), BitVec::zeros(3), 6);
+/// let seen: Vec<u64> = lfsr.expand(&t).iter().map(|p| p.to_u64().unwrap()).collect();
+/// assert_eq!(seen.len(), 7);
+/// // a maximal LFSR visits all 7 non-zero states
+/// let mut sorted = seen.clone();
+/// sorted.sort_unstable();
+/// sorted.dedup();
+/// assert_eq!(sorted.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: usize,
+    taps: BitVec,
+    kind: LfsrKind,
+    name: String,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with an explicit tap mask (bit `i` = coefficient of
+    /// `x^i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps.width() != width` or `width < 2`.
+    pub fn new(width: usize, taps: BitVec, kind: LfsrKind) -> Lfsr {
+        assert!(width >= 2, "LFSR width must be at least 2");
+        assert_eq!(taps.width(), width, "tap mask width mismatch");
+        Lfsr {
+            width,
+            taps,
+            kind,
+            name: "lfsr".to_owned(),
+        }
+    }
+
+    /// Creates a Fibonacci LFSR with the default (primitive where known)
+    /// polynomial for this width.
+    pub fn maximal(width: usize) -> Lfsr {
+        Lfsr::new(width, default_taps(width), LfsrKind::Fibonacci)
+    }
+
+    /// The feedback tap mask.
+    pub fn taps(&self) -> &BitVec {
+        &self.taps
+    }
+
+    /// The LFSR structure (Fibonacci or Galois).
+    pub fn kind(&self) -> LfsrKind {
+        self.kind
+    }
+
+    /// Advances the state by one step.
+    pub fn step(&self, state: &BitVec) -> BitVec {
+        match self.kind {
+            LfsrKind::Fibonacci => {
+                let fb = (state & &self.taps).parity();
+                let mut next = state.shl1();
+                next.set(0, fb);
+                next
+            }
+            LfsrKind::Galois => {
+                let msb = state.get(self.width - 1);
+                let mut next = state.shl1();
+                if msb {
+                    next = &next ^ &self.taps;
+                }
+                next
+            }
+        }
+    }
+}
+
+impl PatternGenerator for Lfsr {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expands to `[δ, step(δ), step²(δ), …]` — `τ + 1` patterns. `θ` is
+    /// ignored by the single-polynomial LFSR.
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec> {
+        assert_eq!(triplet.width(), self.width, "triplet width mismatch");
+        let mut out = Vec::with_capacity(triplet.pattern_count());
+        let mut state = triplet.delta().clone();
+        out.push(state.clone());
+        for _ in 0..triplet.tau() {
+            state = self.step(&state);
+            out.push(state.clone());
+        }
+        out
+    }
+
+    fn seed_for(&self, pattern: &BitVec, _word_source: &mut dyn FnMut() -> u64) -> Triplet {
+        assert_eq!(pattern.width(), self.width, "pattern width mismatch");
+        Triplet::new(pattern.clone(), BitVec::zeros(self.width), 0)
+    }
+}
+
+/// A multiple-polynomial LFSR: `θ` selects the feedback polynomial.
+///
+/// This is the Hellebrand scheme: storing a few polynomial-id bits next to
+/// each seed dramatically improves the encoding flexibility. Here the
+/// selector is `θ mod #polynomials`.
+///
+/// # Example
+///
+/// ```
+/// use fbist_tpg::{MultiPolyLfsr, PatternGenerator, Triplet};
+/// use fbist_bits::BitVec;
+///
+/// let mp = MultiPolyLfsr::standard_bank(8, 4); // 4 polynomials
+/// let t = Triplet::new(BitVec::from_u64(8, 0x80), BitVec::from_u64(8, 2), 5);
+/// assert_eq!(mp.expand(&t).len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiPolyLfsr {
+    width: usize,
+    banks: Vec<Lfsr>,
+    name: String,
+}
+
+impl MultiPolyLfsr {
+    /// Creates a multiple-polynomial LFSR from explicit banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or widths disagree.
+    pub fn new(banks: Vec<Lfsr>) -> MultiPolyLfsr {
+        assert!(!banks.is_empty(), "at least one polynomial required");
+        let width = banks[0].width;
+        assert!(
+            banks.iter().all(|b| b.width == width),
+            "all banks must share one width"
+        );
+        MultiPolyLfsr {
+            width,
+            banks,
+            name: "mplfsr".to_owned(),
+        }
+    }
+
+    /// Builds a bank of `count` distinct polynomials for the given width:
+    /// the default polynomial plus rotations of its tap mask (deterministic
+    /// and cheap; not necessarily primitive).
+    pub fn standard_bank(width: usize, count: usize) -> MultiPolyLfsr {
+        assert!(count >= 1);
+        let base = default_taps(width);
+        let mut banks = Vec::with_capacity(count);
+        let mut taps = base;
+        for _ in 0..count {
+            banks.push(Lfsr::new(width, taps.clone(), LfsrKind::Fibonacci));
+            // rotate-left the mask and force the x^0 coefficient so the
+            // polynomial stays non-degenerate
+            taps = taps.shl1();
+            taps.set(0, true);
+        }
+        MultiPolyLfsr::new(banks)
+    }
+
+    /// Number of polynomials in the bank.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The bank selected by a given `θ`.
+    pub fn bank_for(&self, theta: &BitVec) -> &Lfsr {
+        let sel = theta.as_words().first().copied().unwrap_or(0) as usize % self.banks.len();
+        &self.banks[sel]
+    }
+}
+
+impl PatternGenerator for MultiPolyLfsr {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec> {
+        assert_eq!(triplet.width(), self.width, "triplet width mismatch");
+        self.bank_for(triplet.theta()).expand(triplet)
+    }
+
+    fn seed_for(&self, pattern: &BitVec, word_source: &mut dyn FnMut() -> u64) -> Triplet {
+        assert_eq!(pattern.width(), self.width, "pattern width mismatch");
+        // free choice: pick a random bank so different triplets explore
+        // different polynomials
+        let sel = word_source() % self.banks.len() as u64;
+        Triplet::new(pattern.clone(), BitVec::from_u64(self.width, sel), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_3bit_full_period() {
+        let lfsr = Lfsr::maximal(3);
+        let mut state = BitVec::from_u64(3, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            seen.insert(state.to_u64().unwrap());
+            state = lfsr.step(&state);
+        }
+        assert_eq!(seen.len(), 7, "period-7 maximal sequence");
+        assert_eq!(state.to_u64(), Some(1), "returns to seed after 7 steps");
+    }
+
+    #[test]
+    fn galois_4bit_full_period() {
+        let lfsr = Lfsr::new(4, BitVec::from_u64(4, 0b0011), LfsrKind::Galois);
+        let mut state = BitVec::from_u64(4, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            seen.insert(state.to_u64().unwrap());
+            state = lfsr.step(&state);
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        for kind in [LfsrKind::Fibonacci, LfsrKind::Galois] {
+            let lfsr = Lfsr::new(8, default_taps(8), kind);
+            let z = BitVec::zeros(8);
+            assert!(lfsr.step(&z).is_zero(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn seed_for_contract() {
+        let lfsr = Lfsr::maximal(16);
+        let p = BitVec::from_u64(16, 0xBEEF);
+        let t = lfsr.seed_for(&p, &mut || 1);
+        assert_eq!(lfsr.expand(&t), vec![p]);
+    }
+
+    #[test]
+    fn mp_lfsr_banks_differ() {
+        let mp = MultiPolyLfsr::standard_bank(8, 4);
+        assert_eq!(mp.bank_count(), 4);
+        let seed = BitVec::from_u64(8, 0x35);
+        let mut sequences = Vec::new();
+        for sel in 0..4u64 {
+            let t = Triplet::new(seed.clone(), BitVec::from_u64(8, sel), 6);
+            sequences.push(mp.expand(&t));
+        }
+        // at least two banks must produce different sequences
+        assert!(
+            sequences.windows(2).any(|w| w[0] != w[1]),
+            "all banks identical"
+        );
+        // all start at the seed
+        for s in &sequences {
+            assert_eq!(s[0], seed);
+        }
+    }
+
+    #[test]
+    fn mp_seed_for_contract() {
+        let mp = MultiPolyLfsr::standard_bank(12, 3);
+        let mut s = 99u64;
+        let mut src = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s
+        };
+        let p = BitVec::from_u64(12, 0x456);
+        let t = mp.seed_for(&p, &mut src);
+        assert_eq!(t.tau(), 0);
+        assert_eq!(mp.expand(&t), vec![p]);
+    }
+
+    #[test]
+    fn theta_selector_wraps() {
+        let mp = MultiPolyLfsr::standard_bank(8, 3);
+        let a = mp.bank_for(&BitVec::from_u64(8, 1));
+        let b = mp.bank_for(&BitVec::from_u64(8, 4)); // 4 mod 3 == 1
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_lfsr_steps() {
+        // 80-bit LFSR exercises multi-word shifting and parity
+        let lfsr = Lfsr::new(80, {
+            let mut t = BitVec::zeros(80);
+            t.set(0, true);
+            t.set(9, true);
+            t.set(79, true);
+            t
+        }, LfsrKind::Fibonacci);
+        let mut state = BitVec::from_u64(80, 1);
+        for _ in 0..100 {
+            state = lfsr.step(&state);
+        }
+        assert!(!state.is_zero());
+        assert_eq!(state.width(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn width_one_rejected() {
+        let _ = Lfsr::maximal(1);
+    }
+
+    #[test]
+    fn tabulated_taps_are_maximal_up_to_16_bits() {
+        for width in 2..=16usize {
+            let lfsr = Lfsr::maximal(width);
+            let mut state = BitVec::from_u64(width, 1);
+            let target = (1u64 << width) - 1;
+            let mut period = 0u64;
+            loop {
+                state = lfsr.step(&state);
+                period += 1;
+                if state.to_u64() == Some(1) {
+                    break;
+                }
+                assert!(period <= target, "width {width}: period exceeds 2^w-1");
+            }
+            assert_eq!(period, target, "width {width} is not maximal");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Functional-BIST test pattern generators (TPGs).
+//!
+//! In functional BIST an existing datapath module — typically an
+//! accumulator built around an adder, subtracter or multiplier — is reused
+//! as the test pattern generator for a functionally connected unit under
+//! test. A *reseeding triplet* `(δ, θ, τ)` initialises the TPG's state
+//! register to `δ` and its input register to `θ`, then clocks it for `τ`
+//! cycles; the sequence of values appearing at its output is the test set
+//! of that triplet.
+//!
+//! This crate provides:
+//!
+//! * [`Triplet`] — the `(δ, θ, τ)` seed value;
+//! * [`PatternGenerator`] — the object-safe expansion interface
+//!   (`triplet → pattern sequence`) shared by all TPGs;
+//! * [`AccumulatorTpg`] — the paper's three TPGs (adder / subtracter /
+//!   multiplier accumulators) over arbitrary-width modular arithmetic;
+//! * [`Lfsr`] / [`MultiPolyLfsr`] — classical LFSR reseeding
+//!   (Fibonacci/Galois, single or multiple polynomials à la Hellebrand);
+//! * [`WeightedTpg`] — a weighted-pseudo-random generator, used as an
+//!   extension baseline.
+//!
+//! # Expansion convention
+//!
+//! The paper fixes `θᵢ = pᵢ` (an ATPG pattern) and observes that with
+//! `τ = 0` the reseeding's test set *is* the ATPG test set. Every generator
+//! here honours the contract:
+//!
+//! > `g.expand(&g.seed_for(p, rng))` with `τ = 0` yields exactly `[p]`.
+//!
+//! For accumulators the first emitted pattern is `θ` (the input register is
+//! applied to the UUT before evolution starts); for LFSRs it is `δ` (the
+//! seed itself), with `θ` selecting the feedback polynomial.
+//!
+//! # Example
+//!
+//! ```
+//! use fbist_tpg::{AccumulatorTpg, AccumulatorOp, PatternGenerator, Triplet};
+//! use fbist_bits::BitVec;
+//!
+//! let tpg = AccumulatorTpg::new(8, AccumulatorOp::Add);
+//! let t = Triplet::new(BitVec::from_u64(8, 200), BitVec::from_u64(8, 30), 3);
+//! let ts = tpg.expand(&t);
+//! // [θ, δ+θ, δ+2θ, δ+3θ] mod 256  =  [30, 230, 4, 34]
+//! let vals: Vec<u64> = ts.iter().map(|p| p.to_u64().unwrap()).collect();
+//! assert_eq!(vals, vec![30, 230, 4, 34]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod generator;
+mod lfsr;
+mod triplet;
+mod weighted;
+
+pub use accumulator::{AccumulatorOp, AccumulatorTpg};
+pub use generator::PatternGenerator;
+pub use lfsr::{Lfsr, LfsrKind, MultiPolyLfsr};
+pub use triplet::Triplet;
+pub use weighted::WeightedTpg;

@@ -1,0 +1,138 @@
+//! The reseeding triplet `(δ, θ, τ)`.
+
+use std::fmt;
+
+use fbist_bits::BitVec;
+
+/// One reseeding triplet: state seed `δ`, input seed `θ` and evolution
+/// length `τ`.
+///
+/// A triplet fully determines one test subsequence of a
+/// [`PatternGenerator`](crate::PatternGenerator): load `δ` into the state
+/// register, `θ` into the input register, clock `τ` times. By this
+/// workspace's convention the expansion has `τ + 1` patterns (the initial
+/// register content is applied to the UUT too; see the crate docs).
+///
+/// ```
+/// use fbist_tpg::Triplet;
+/// use fbist_bits::BitVec;
+///
+/// let t = Triplet::new(BitVec::from_u64(8, 1), BitVec::from_u64(8, 2), 10);
+/// assert_eq!(t.pattern_count(), 11);
+/// assert_eq!(t.rom_bits(8), 8 + 8 + 8); // δ + θ + one τ field of 8 bits
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triplet {
+    delta: BitVec,
+    theta: BitVec,
+    tau: usize,
+}
+
+impl Triplet {
+    /// Creates a triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` and `theta` have different widths — they are
+    /// registers of the same datapath.
+    pub fn new(delta: BitVec, theta: BitVec, tau: usize) -> Triplet {
+        assert_eq!(
+            delta.width(),
+            theta.width(),
+            "delta and theta must have the generator's width"
+        );
+        Triplet { delta, theta, tau }
+    }
+
+    /// The state-register seed `δ`.
+    pub fn delta(&self) -> &BitVec {
+        &self.delta
+    }
+
+    /// The input-register seed `θ`.
+    pub fn theta(&self) -> &BitVec {
+        &self.theta
+    }
+
+    /// The evolution length `τ` (clock cycles after the initial pattern).
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.delta.width()
+    }
+
+    /// Number of patterns this triplet expands to (`τ + 1`).
+    pub fn pattern_count(&self) -> usize {
+        self.tau + 1
+    }
+
+    /// Returns a copy with a different `τ`.
+    pub fn with_tau(&self, tau: usize) -> Triplet {
+        Triplet {
+            delta: self.delta.clone(),
+            theta: self.theta.clone(),
+            tau,
+        }
+    }
+
+    /// ROM bits needed to store this triplet when `τ` is stored in a field
+    /// of `tau_bits` bits: `|δ| + |θ| + tau_bits`.
+    ///
+    /// This is the paper's area-overhead unit: a reseeding solution of `K`
+    /// triplets costs `K × rom_bits` of seed storage.
+    pub fn rom_bits(&self, tau_bits: usize) -> usize {
+        self.delta.width() + self.theta.width() + tau_bits
+    }
+}
+
+impl fmt::Display for Triplet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(δ={:x}, θ={:x}, τ={})", self.delta, self.theta, self.tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Triplet::new(BitVec::from_u64(4, 3), BitVec::from_u64(4, 5), 7);
+        assert_eq!(t.delta().to_u64(), Some(3));
+        assert_eq!(t.theta().to_u64(), Some(5));
+        assert_eq!(t.tau(), 7);
+        assert_eq!(t.width(), 4);
+        assert_eq!(t.pattern_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_mismatch_panics() {
+        let _ = Triplet::new(BitVec::zeros(4), BitVec::zeros(5), 0);
+    }
+
+    #[test]
+    fn with_tau_copies() {
+        let t = Triplet::new(BitVec::zeros(4), BitVec::ones(4), 1);
+        let t2 = t.with_tau(9);
+        assert_eq!(t2.tau(), 9);
+        assert_eq!(t2.theta(), t.theta());
+        assert_eq!(t.tau(), 1);
+    }
+
+    #[test]
+    fn rom_accounting() {
+        let t = Triplet::new(BitVec::zeros(16), BitVec::zeros(16), 100);
+        assert_eq!(t.rom_bits(7), 39);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Triplet::new(BitVec::from_u64(8, 0xAB), BitVec::from_u64(8, 0x01), 2);
+        let s = t.to_string();
+        assert!(s.contains("ab") && s.contains("τ=2"), "{s}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Weighted pseudo-random TPG (extension baseline).
+
+use fbist_bits::BitVec;
+
+use crate::generator::PatternGenerator;
+use crate::triplet::Triplet;
+
+/// A weighted pseudo-random pattern generator.
+///
+/// Models a weighted-random BIST source: after emitting `θ` (the paper's
+/// convention for cycle 0), each subsequent pattern is drawn from a
+/// deterministic pseudo-random stream keyed by `(δ, θ, cycle)`, with each
+/// bit biased to 1 with probability `weight_num / 8` (weights quantised to
+/// eighths, as hardware weighting networks typically are).
+///
+/// This TPG is not part of the paper's evaluation; it serves as an extra
+/// point of comparison in the ablation benchmarks (how much do *arithmetic*
+/// sequences matter versus plain biased noise?).
+///
+/// # Example
+///
+/// ```
+/// use fbist_tpg::{WeightedTpg, PatternGenerator, Triplet};
+/// use fbist_bits::BitVec;
+///
+/// let tpg = WeightedTpg::new(16, 4); // unbiased (4/8)
+/// let t = Triplet::new(BitVec::zeros(16), BitVec::from_u64(16, 0xF0F0), 8);
+/// let ts = tpg.expand(&t);
+/// assert_eq!(ts.len(), 9);
+/// assert_eq!(ts[0].to_u64(), Some(0xF0F0)); // θ first
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedTpg {
+    width: usize,
+    weight_num: u8,
+    name: String,
+}
+
+impl WeightedTpg {
+    /// Creates a weighted TPG; `weight_num / 8` is the per-bit probability
+    /// of 1 (so `4` is unbiased, `7` is strongly one-weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= weight_num <= 7`.
+    pub fn new(width: usize, weight_num: u8) -> WeightedTpg {
+        assert!((1..=7).contains(&weight_num), "weight must be in 1..=7 eighths");
+        WeightedTpg {
+            width,
+            weight_num,
+            name: format!("wrand{weight_num}"),
+        }
+    }
+
+    /// The weight numerator (probability of 1 = `weight() / 8`).
+    pub fn weight(&self) -> u8 {
+        self.weight_num
+    }
+
+    fn keyed_word(&self, delta: &BitVec, theta: &BitVec, cycle: u64, word: u64) -> u64 {
+        // SplitMix64 over a key mixing the seeds, the cycle and the word
+        // index — deterministic, platform-independent expansion.
+        let d0 = delta.as_words().first().copied().unwrap_or(0);
+        let t0 = theta.as_words().first().copied().unwrap_or(0);
+        let mut z = d0
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(t0.rotate_left(17))
+            .wrapping_add(cycle.wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(word.wrapping_mul(0x94D049BB133111EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministically generates the pattern for one evolution cycle.
+    fn pattern_at(&self, delta: &BitVec, theta: &BitVec, cycle: u64) -> BitVec {
+        let mut p = BitVec::zeros(self.width);
+        for i in 0..self.width {
+            // draw 3 bits per position; set when below the weight threshold
+            let w = self.keyed_word(delta, theta, cycle, i as u64);
+            if ((w & 0b111) as u8) < self.weight_num {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+}
+
+impl PatternGenerator for WeightedTpg {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn expand(&self, triplet: &Triplet) -> Vec<BitVec> {
+        assert_eq!(triplet.width(), self.width, "triplet width mismatch");
+        let mut out = Vec::with_capacity(triplet.pattern_count());
+        out.push(triplet.theta().clone());
+        for j in 0..triplet.tau() as u64 {
+            out.push(self.pattern_at(triplet.delta(), triplet.theta(), j + 1));
+        }
+        out
+    }
+
+    fn seed_for(&self, pattern: &BitVec, word_source: &mut dyn FnMut() -> u64) -> Triplet {
+        assert_eq!(pattern.width(), self.width, "pattern width mismatch");
+        let delta = BitVec::random_with(self.width, &mut *word_source);
+        Triplet::new(delta, pattern.clone(), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_expansion() {
+        let tpg = WeightedTpg::new(32, 4);
+        let t = Triplet::new(BitVec::from_u64(32, 5), BitVec::from_u64(32, 6), 20);
+        assert_eq!(tpg.expand(&t), tpg.expand(&t));
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let tpg = WeightedTpg::new(32, 4);
+        let a = Triplet::new(BitVec::from_u64(32, 5), BitVec::from_u64(32, 6), 20);
+        let b = Triplet::new(BitVec::from_u64(32, 7), BitVec::from_u64(32, 6), 20);
+        assert_ne!(tpg.expand(&a)[1..], tpg.expand(&b)[1..]);
+    }
+
+    #[test]
+    fn weight_biases_density() {
+        let heavy = WeightedTpg::new(64, 7);
+        let light = WeightedTpg::new(64, 1);
+        let t = Triplet::new(BitVec::from_u64(64, 1), BitVec::from_u64(64, 2), 50);
+        let ones = |tpg: &WeightedTpg| -> usize {
+            tpg.expand(&t)[1..]
+                .iter()
+                .map(|p| p.count_ones())
+                .sum()
+        };
+        let h = ones(&heavy);
+        let l = ones(&light);
+        assert!(h > l * 3, "heavy {h} vs light {l}");
+    }
+
+    #[test]
+    fn seed_for_contract() {
+        let tpg = WeightedTpg::new(24, 2);
+        let p = BitVec::from_u64(24, 0xABCDE);
+        let t = tpg.seed_for(&p, &mut || 31337);
+        assert_eq!(tpg.expand(&t), vec![p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_rejected() {
+        let _ = WeightedTpg::new(8, 0);
+    }
+}

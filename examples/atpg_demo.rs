@@ -1,0 +1,73 @@
+//! The ATPG substrate on its own: SCOAP testability, PODEM cubes,
+//! redundancy identification and compaction.
+//!
+//! Run with `cargo run --release --example atpg_demo`.
+
+use set_covering_reseeding::atpg::testability::Testability;
+use set_covering_reseeding::atpg::{Podem, PodemOutcome};
+use set_covering_reseeding::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a circuit with a known redundancy: y = OR(a, NOT a) is constant 1
+    let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+na = NOT(a)
+y  = OR(a, na)
+m  = AND(a, b)
+z  = XOR(m, c)
+";
+    let netlist = bench::parse_named(src, "demo")?;
+    println!("UUT: {netlist}");
+
+    // --- SCOAP testability ------------------------------------------------
+    let t = Testability::analyze(&netlist);
+    println!("\nSCOAP (CC0 / CC1 / CO):");
+    for (id, gate) in netlist.iter() {
+        println!(
+            "  {:<4} {:>10} {:>5} / {:<5} / {}",
+            gate.name(),
+            gate.kind().to_string(),
+            t.cc0(id),
+            t.cc1(id),
+            t.co(id)
+        );
+    }
+
+    // --- PODEM per fault ---------------------------------------------------
+    let faults = FaultList::collapsed(&netlist);
+    let podem = Podem::new(&netlist)?;
+    println!("\nPODEM over {} collapsed faults:", faults.len());
+    let mut untestable = 0;
+    for (_, fault) in faults.iter() {
+        match podem.generate(fault) {
+            PodemOutcome::Test(cube) => {
+                println!("  {:<14} test cube {}", fault.describe(&netlist), cube)
+            }
+            PodemOutcome::Untestable => {
+                println!("  {:<14} UNTESTABLE (redundant)", fault.describe(&netlist));
+                untestable += 1;
+            }
+            PodemOutcome::Aborted => println!("  {:<14} aborted", fault.describe(&netlist)),
+        }
+    }
+    assert!(untestable >= 1, "y stuck-at-1 must be proven redundant");
+
+    // --- the full engine with compaction ------------------------------------
+    let atpg = Atpg::new(&netlist)?;
+    let result = atpg.run(&faults, &AtpgConfig::default());
+    println!(
+        "\nfull ATPG: {} patterns, coverage {:.1} %, efficiency {:.1} %, {} untestable",
+        result.patterns.len(),
+        100.0 * result.coverage(),
+        100.0 * result.efficiency(),
+        result.untestable.len()
+    );
+    for (i, p) in result.patterns.iter().enumerate() {
+        println!("  p{i}: {p}");
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the whole paper in ~30 lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! Takes a small benchmark circuit, runs the complete DATE 2001 flow
+//! (ATPG → detection matrix → essentiality/dominance reduction → exact set
+//! covering → trimming) with an adder-accumulator TPG, and prints the
+//! reseeding solution.
+
+use set_covering_reseeding::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A unit under test: a synthetic ISCAS-like circuit (use
+    //    `bench::parse` to load your own .bench netlist instead).
+    let profile = genbench_profile("mid256").expect("built-in profile");
+    let netlist = genbench_generate(&profile, 1);
+    println!("UUT: {netlist}");
+
+    // 2. Configure: adder accumulator as TPG, 32 patterns per triplet.
+    let config = FlowConfig::new(TpgKind::Adder).with_tau(31);
+
+    // 3. Run the flow.
+    let report = ReseedingFlow::new(&netlist)?.run(&config);
+
+    // 4. Inspect the solution.
+    println!("{report}");
+    println!(
+        "  initial matrix {} x {}  →  residual {} x {}",
+        report.initial_triplets, report.target_faults, report.residual.0, report.residual.1
+    );
+    println!(
+        "  solution: {} triplets = {} necessary + {} solver-chosen (optimal: {})",
+        report.triplet_count(),
+        report.necessary_count(),
+        report.solver_count(),
+        report.solution_optimal
+    );
+    println!("  global test length: {}", report.test_length());
+    println!("  seed ROM: {} bits", report.rom_bits());
+    for (i, t) in report.selected.iter().take(5).enumerate() {
+        println!(
+            "  triplet {i}: {} — {} new faults in {} patterns",
+            t.triplet, t.new_faults, t.test_length
+        );
+    }
+    assert!(report.covers_all_target_faults());
+    Ok(())
+}
