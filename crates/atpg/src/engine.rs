@@ -295,7 +295,11 @@ mod tests {
         let atpg = Atpg::new(&n).unwrap();
         let faults = FaultList::collapsed(&n);
         let r = atpg.run(&faults, &AtpgConfig::default());
-        assert!((r.coverage() - 1.0).abs() < 1e-12, "coverage {}", r.coverage());
+        assert!(
+            (r.coverage() - 1.0).abs() < 1e-12,
+            "coverage {}",
+            r.coverage()
+        );
         // the compacted set must stay well below exhaustive (512)
         assert!(r.patterns.len() < 100, "{} patterns", r.patterns.len());
     }
@@ -305,15 +309,14 @@ mod tests {
         let n = embedded::adder4();
         let atpg = Atpg::new(&n).unwrap();
         let faults = FaultList::collapsed(&n);
-        let mut cfg = AtpgConfig::default();
-        cfg.compact = false;
+        let mut cfg = AtpgConfig {
+            compact: false,
+            ..Default::default()
+        };
         let full = atpg.run(&faults, &cfg);
         cfg.compact = true;
         let compacted = atpg.run(&faults, &cfg);
-        assert_eq!(
-            full.detected.count_ones(),
-            compacted.detected.count_ones()
-        );
+        assert_eq!(full.detected.count_ones(), compacted.detected.count_ones());
         assert!(compacted.patterns.len() <= full.patterns.len());
         // verify compacted patterns really cover everything claimed
         let check = atpg.fsim.detects(&compacted.patterns, &faults);
@@ -322,14 +325,18 @@ mod tests {
 
     #[test]
     fn redundancy_is_reported() {
-        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\ny = OR(a, na)\nz = AND(a, b)\n";
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\ny = OR(a, na)\nz = AND(a, b)\n";
         let n = bench::parse(src).unwrap();
         let atpg = Atpg::new(&n).unwrap();
         let faults = FaultList::full(&n);
         let r = atpg.run(&faults, &AtpgConfig::default());
         assert!(!r.untestable.is_empty());
         assert!(r.coverage() < 1.0);
-        assert!((r.efficiency() - 1.0).abs() < 1e-12, "all testable faults found");
+        assert!(
+            (r.efficiency() - 1.0).abs() < 1e-12,
+            "all testable faults found"
+        );
     }
 
     #[test]

@@ -164,12 +164,7 @@ impl Podem {
         loop {
             let planes = self.simulate(&pi, fault);
             stats.implications += 1;
-            if self
-                .netlist
-                .outputs()
-                .iter()
-                .any(|&o| planes.has_d(o))
-            {
+            if self.netlist.outputs().iter().any(|&o| planes.has_d(o)) {
                 let mut cube = Cube::all_x(npis);
                 for (k, &t) in pi.iter().enumerate() {
                     cube.set(k, t);
@@ -274,9 +269,7 @@ impl Podem {
             .into_iter()
             .filter(|&g| self.x_path_to_po(g, planes))
             .collect();
-        let &gate = frontier
-            .iter()
-            .min_by_key(|&&g| self.testability.co(g))?;
+        let &gate = frontier.iter().min_by_key(|&&g| self.testability.co(g))?;
         let g = self.netlist.gate(gate);
         // Set one still-X input to the non-controlling value (XOR-family:
         // pick the cheaper polarity).
@@ -361,12 +354,7 @@ impl Podem {
 
     /// Maps an internal objective to a primary-input assignment by walking
     /// backward through X-valued nets, guided by SCOAP controllability.
-    fn backtrace(
-        &self,
-        mut net: GateId,
-        mut val: bool,
-        planes: &Planes,
-    ) -> Option<(usize, bool)> {
+    fn backtrace(&self, mut net: GateId, mut val: bool, planes: &Planes) -> Option<(usize, bool)> {
         loop {
             let g = self.netlist.gate(net);
             match g.kind() {
@@ -422,12 +410,9 @@ impl Podem {
                             // XOR-family: parity target; pick the easiest
                             // polarity of the easiest input (heuristic — the
                             // decision search guarantees correctness).
-                            let n = xs
-                                .iter()
-                                .copied()
-                                .min_by_key(|&f| {
-                                    self.testability.cc0(f).min(self.testability.cc1(f))
-                                })?;
+                            let n = xs.iter().copied().min_by_key(|&f| {
+                                self.testability.cc0(f).min(self.testability.cc1(f))
+                            })?;
                             let v = self.testability.cc1(n) < self.testability.cc0(n);
                             (n, v)
                         }
@@ -555,7 +540,8 @@ z = OR(c, d, e, f, g, h)
         let n = embedded::c17();
         let podem = Podem::new(&n).unwrap();
         let faults = FaultList::collapsed(&n);
-        let (outcome, stats) = podem.generate_with_stats(faults.get(fbist_fault::FaultId::from_index(0)));
+        let (outcome, stats) =
+            podem.generate_with_stats(faults.get(fbist_fault::FaultId::from_index(0)));
         assert!(matches!(outcome, PodemOutcome::Test(_)));
         assert!(stats.implications >= 1);
         assert!(stats.decisions >= 1);

@@ -43,7 +43,9 @@ impl Testability {
     /// handled by treating DFF outputs like primary inputs (full-scan
     /// assumption).
     pub fn analyze(netlist: &Netlist) -> Testability {
-        let order = netlist.levelize().expect("testability requires a valid netlist");
+        let order = netlist
+            .levelize()
+            .expect("testability requires a valid netlist");
         let n = netlist.gate_count();
         let mut cc0 = vec![INF; n];
         let mut cc1 = vec![INF; n];
@@ -83,7 +85,14 @@ impl Testability {
                         .fold(0u32, |a, b| a.saturating_add(b))
                         .saturating_add(1)
                         .min(INF);
-                    let any0: u32 = g.fanin().iter().map(f0).min().unwrap_or(INF).saturating_add(1).min(INF);
+                    let any0: u32 = g
+                        .fanin()
+                        .iter()
+                        .map(f0)
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1)
+                        .min(INF);
                     if g.kind() == GateKind::And {
                         cc0[i] = any0;
                         cc1[i] = all1;
@@ -100,7 +109,14 @@ impl Testability {
                         .fold(0u32, |a, b| a.saturating_add(b))
                         .saturating_add(1)
                         .min(INF);
-                    let any1: u32 = g.fanin().iter().map(f1).min().unwrap_or(INF).saturating_add(1).min(INF);
+                    let any1: u32 = g
+                        .fanin()
+                        .iter()
+                        .map(f1)
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1)
+                        .min(INF);
                     if g.kind() == GateKind::Or {
                         cc0[i] = all0;
                         cc1[i] = any1;

@@ -45,9 +45,7 @@ fn bench_fault_sim_vs_naive(c: &mut Criterion) {
     let sim = FaultSimulator::new(&n).unwrap();
     let pats = patterns(5, 32, 9);
     let mut group = c.benchmark_group("fault_sim_vs_naive");
-    group.bench_function("packed_c17_32p", |b| {
-        b.iter(|| sim.detects(&pats, &faults))
-    });
+    group.bench_function("packed_c17_32p", |b| b.iter(|| sim.detects(&pats, &faults)));
     group.bench_function("naive_c17_32p", |b| {
         b.iter(|| {
             let mut detected = 0;

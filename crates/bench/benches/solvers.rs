@@ -43,9 +43,7 @@ fn bench_solution_quality(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("quality_instance");
     group.sample_size(10);
-    group.bench_function("exact_80x250", |b| {
-        b.iter(|| ExactSolver::new().solve(&m))
-    });
+    group.bench_function("exact_80x250", |b| b.iter(|| ExactSolver::new().solve(&m)));
     group.finish();
 }
 

@@ -23,9 +23,18 @@ fn bench_expand(c: &mut Criterion) {
     for &width in &[32usize, 128, 512] {
         let t = triplet(width, 255);
         let gens: Vec<(&str, Box<dyn PatternGenerator>)> = vec![
-            ("add", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Add))),
-            ("sub", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Sub))),
-            ("mul", Box::new(AccumulatorTpg::new(width, AccumulatorOp::Mul))),
+            (
+                "add",
+                Box::new(AccumulatorTpg::new(width, AccumulatorOp::Add)),
+            ),
+            (
+                "sub",
+                Box::new(AccumulatorTpg::new(width, AccumulatorOp::Sub)),
+            ),
+            (
+                "mul",
+                Box::new(AccumulatorTpg::new(width, AccumulatorOp::Mul)),
+            ),
             ("lfsr", Box::new(Lfsr::maximal(width))),
             ("mplfsr", Box::new(MultiPolyLfsr::standard_bank(width, 8))),
             ("wrand", Box::new(WeightedTpg::new(width, 4))),

@@ -45,7 +45,10 @@ fn main() {
     println!(
         "# Figure 2 — trade-off reseedings vs. test length ({circuit} @ scale {scale}, TPG {tpg}, seed {seed})"
     );
-    println!("{:>6} {:>10} {:>12} {:>10}", "tau", "#triplets", "test_length", "rom_bits");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "tau", "#triplets", "test_length", "rom_bits"
+    );
     for pt in &curve {
         println!(
             "{:>6} {:>10} {:>12} {:>10}",
@@ -63,6 +66,10 @@ fn main() {
     let monotone = curve.windows(2).all(|w| w[1].triplets <= w[0].triplets);
     println!(
         "\n# monotone non-increasing triplet count: {}",
-        if monotone { "yes (matches Figure 2)" } else { "NO — investigate" }
+        if monotone {
+            "yes (matches Figure 2)"
+        } else {
+            "NO — investigate"
+        }
     );
 }

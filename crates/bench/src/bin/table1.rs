@@ -39,9 +39,7 @@ fn main() {
         "# Table 1 — reseeding solutions (scale {}, τ = {tau}, seed {})",
         suite.scale, suite.seed
     );
-    println!(
-        "# set covering (SC) vs GATSBY-GA (GA); ΔK = GA triplets − SC triplets"
-    );
+    println!("# set covering (SC) vs GATSBY-GA (GA); ΔK = GA triplets − SC triplets");
     print!("{:<10} {:>7}", "circuit", "|F|");
     for t in &tpgs {
         print!(
@@ -103,7 +101,11 @@ fn main() {
                 (
                     format!("{}{complete}", g.triplet_count()),
                     g.test_length.to_string(),
-                    if g.complete() { format!("{delta:+}") } else { "n/a".to_owned() },
+                    if g.complete() {
+                        format!("{delta:+}")
+                    } else {
+                        "n/a".to_owned()
+                    },
                 )
             };
             print!(

@@ -154,7 +154,11 @@ impl BitVec {
     /// Panics if `i >= self.width()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -165,7 +169,11 @@ impl BitVec {
     /// Panics if `i >= self.width()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = i / WORD_BITS;
         let b = i % WORD_BITS;
         if value {
@@ -293,9 +301,8 @@ impl BitVec {
             }
             let mut carry = 0u128;
             for j in 0..n - i {
-                let prod = (self.words[i] as u128) * (rhs.words[j] as u128)
-                    + acc[i + j] as u128
-                    + carry;
+                let prod =
+                    (self.words[i] as u128) * (rhs.words[j] as u128) + acc[i + j] as u128 + carry;
                 acc[i + j] = prod as u64;
                 carry = prod >> 64;
             }
@@ -347,7 +354,11 @@ impl BitVec {
         let mut out = BitVec::zeros(self.width);
         let n = self.words.len();
         for i in 0..n {
-            let hi = if i + 1 < n { self.words[i + 1] << 63 } else { 0 };
+            let hi = if i + 1 < n {
+                self.words[i + 1] << 63
+            } else {
+                0
+            };
             out.words[i] = (self.words[i] >> 1) | hi;
         }
         out.normalize();
@@ -578,7 +589,12 @@ impl FromStr for BitVec {
                 '0' => bits.push(false),
                 '1' => bits.push(true),
                 '_' => {}
-                offending => return Err(ParseBitVecError { offending, position }),
+                offending => {
+                    return Err(ParseBitVecError {
+                        offending,
+                        position,
+                    })
+                }
             }
         }
         bits.reverse(); // textual MSB-first -> storage LSB-first

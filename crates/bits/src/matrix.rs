@@ -244,7 +244,13 @@ impl BitMatrix {
 
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "BitMatrix {}x{} ({} ones)", self.rows, self.cols, self.count_ones())?;
+        writeln!(
+            f,
+            "BitMatrix {}x{} ({} ones)",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )?;
         if self.rows <= 16 && self.cols <= 80 {
             for r in 0..self.rows {
                 writeln!(f, "  {}", {

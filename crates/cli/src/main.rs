@@ -96,7 +96,9 @@ fn parse_tpg(args: &[String]) -> Result<TpgKind, String> {
 fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v:?}")),
     }
 }
 
@@ -116,7 +118,9 @@ fn load_circuit(args: &[String]) -> Result<Netlist, String> {
     } else if let Some(n) = fbist_netlist::embedded::by_name(name) {
         n
     } else {
-        return Err(format!("no such file, profile or embedded circuit: {name:?}"));
+        return Err(format!(
+            "no such file, profile or embedded circuit: {name:?}"
+        ));
     };
     Ok(if n.is_combinational() {
         n
@@ -231,11 +235,19 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
         println!(
             "  triplet {:>3} {} τ={:<5} +{} faults, {} patterns{}",
             i,
-            if t.necessary { "[necessary]" } else { "[solver]   " },
+            if t.necessary {
+                "[necessary]"
+            } else {
+                "[solver]   "
+            },
             t.triplet.tau(),
             t.new_faults,
             t.test_length,
-            if i < 8 { format!("  {}", t.triplet) } else { String::new() }
+            if i < 8 {
+                format!("  {}", t.triplet)
+            } else {
+                String::new()
+            }
         );
         if i == 16 && report.selected.len() > 18 {
             println!("  … {} more", report.selected.len() - 17);
@@ -257,8 +269,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     };
     let cfg = FlowConfig::new(tpg);
     let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
-    println!("{} [{}] — reseedings vs. test length (Figure 2)", n.name(), tpg);
-    println!("  {:>6} {:>10} {:>12} {:>10}", "tau", "#triplets", "test_length", "rom_bits");
+    println!(
+        "{} [{}] — reseedings vs. test length (Figure 2)",
+        n.name(),
+        tpg
+    );
+    println!(
+        "  {:>6} {:>10} {:>12} {:>10}",
+        "tau", "#triplets", "test_length", "rom_bits"
+    );
     for p in curve {
         println!(
             "  {:>6} {:>10} {:>12} {:>10}",
@@ -284,7 +303,11 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             ..GatsbyConfig::default()
         },
     );
-    println!("{} [{}] τ={tau} — set covering vs GATSBY-GA (Table 1)", n.name(), tpg);
+    println!(
+        "{} [{}] τ={tau} — set covering vs GATSBY-GA (Table 1)",
+        n.name(),
+        tpg
+    );
     println!(
         "  set covering : {:>4} triplets, test length {:>7}, covers {}/{}",
         report.triplet_count(),

@@ -2,7 +2,9 @@
 
 use fbist_atpg::AtpgConfig;
 use fbist_setcover::SolveConfig;
-use fbist_tpg::{AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, WeightedTpg};
+use fbist_tpg::{
+    AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, WeightedTpg,
+};
 
 /// Which hardware module plays the TPG role.
 ///

@@ -73,7 +73,11 @@ pub fn to_rom_image(report: &ReseedingReport) -> String {
     );
     for t in &report.selected {
         let tau_field = BitVec::from_u64(tau_bits, t.triplet.tau() as u64);
-        let word = t.triplet.delta().concat(t.triplet.theta()).concat(&tau_field);
+        let word = t
+            .triplet
+            .delta()
+            .concat(t.triplet.theta())
+            .concat(&tau_field);
         out.push_str(&format!("{word:x}\n"));
     }
     out
@@ -112,7 +116,9 @@ pub fn parse_rom_image(image: &str) -> Result<Vec<(BitVec, BitVec, usize)>, Stri
         let mut word = BitVec::zeros(word_bits);
         let mut bit = 0usize;
         for c in line.chars().rev() {
-            let nibble = c.to_digit(16).ok_or(format!("line {}: bad hex {c:?}", no + 2))?;
+            let nibble = c
+                .to_digit(16)
+                .ok_or(format!("line {}: bad hex {c:?}", no + 2))?;
             for k in 0..4 {
                 if bit + k < word_bits && (nibble >> k) & 1 == 1 {
                     word.set(bit + k, true);
@@ -182,6 +188,9 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!(parse_rom_image("").is_err());
-        assert!(parse_rom_image("# seed ROM: 1 words x 11 bits (delta[5] | theta[5] | tau[1])\nzz\n").is_err());
+        assert!(parse_rom_image(
+            "# seed ROM: 1 words x 11 bits (delta[5] | theta[5] | tau[1])\nzz\n"
+        )
+        .is_err());
     }
 }

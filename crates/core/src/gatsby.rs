@@ -265,7 +265,9 @@ mod tests {
     fn c17_reaches_full_coverage() {
         let n = embedded::c17();
         let faults = FaultList::collapsed(&n);
-        let res = Gatsby::new(&n).unwrap().run(&faults, &GatsbyConfig::default());
+        let res = Gatsby::new(&n)
+            .unwrap()
+            .run(&faults, &GatsbyConfig::default());
         assert!(res.complete(), "coverage {}", res.coverage());
         assert!(res.triplet_count() >= 1);
         assert!(res.test_length >= res.triplet_count());

@@ -109,12 +109,7 @@ mod tests {
     #[test]
     fn sweep_is_monotone_in_triplets() {
         let n = generate(&profile("tiny64").unwrap(), 4);
-        let curve = tradeoff_sweep(
-            &n,
-            &FlowConfig::new(TpgKind::Adder),
-            &[0, 3, 15, 63],
-        )
-        .unwrap();
+        let curve = tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Adder), &[0, 3, 15, 63]).unwrap();
         assert_eq!(curve.len(), 4);
         for w in curve.windows(2) {
             assert!(

@@ -76,7 +76,9 @@ mod tests {
     use fbist_netlist::{bench, embedded};
 
     fn exhaustive(width: usize) -> Vec<BitVec> {
-        (0..(1u64 << width)).map(|v| BitVec::from_u64(width, v)).collect()
+        (0..(1u64 << width))
+            .map(|v| BitVec::from_u64(width, v))
+            .collect()
     }
 
     #[test]
@@ -107,7 +109,12 @@ mod tests {
                 .map(|&p| patterns[p as usize].clone())
                 .collect();
             let cp_cov = sim.detects(&subset, &cps).count_ones();
-            assert_eq!(cp_cov, cps.len(), "{}: checkpoint cover incomplete", n.name());
+            assert_eq!(
+                cp_cov,
+                cps.len(),
+                "{}: checkpoint cover incomplete",
+                n.name()
+            );
             // theorem check: the subset also covers every detectable fault
             let full_cov = sim.detects(&subset, &full).count_ones();
             let full_all = sim.detects(&patterns, &full).count_ones();

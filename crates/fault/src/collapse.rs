@@ -84,10 +84,7 @@ impl UnionFind {
 /// The input list is typically [`FaultList::full`]; faults absent from the
 /// list simply do not participate.
 pub fn collapse(netlist: &Netlist, faults: &FaultList) -> CollapseResult {
-    let index: HashMap<Fault, u32> = faults
-        .iter()
-        .map(|(id, f)| (f, id.0))
-        .collect();
+    let index: HashMap<Fault, u32> = faults.iter().map(|(id, f)| (f, id.0)).collect();
     let mut uf = UnionFind::new(faults.len());
     let lookup = |site: FaultSite, v: bool| index.get(&Fault::stuck_at(site, v)).copied();
 

@@ -240,12 +240,10 @@ mod tests {
     fn dffs_are_skipped() {
         let n = embedded::johnson3();
         let f = FaultList::full(&n);
-        assert!(f
-            .iter()
-            .all(|(_, fault)| match fault.site() {
-                FaultSite::GateOutput(g) => n.gate(g).kind() != GateKind::Dff,
-                FaultSite::GateInput { gate, .. } => n.gate(gate).kind() != GateKind::Dff,
-            }));
+        assert!(f.iter().all(|(_, fault)| match fault.site() {
+            FaultSite::GateOutput(g) => n.gate(g).kind() != GateKind::Dff,
+            FaultSite::GateInput { gate, .. } => n.gate(gate).kind() != GateKind::Dff,
+        }));
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::model::{Fault, FaultSite};
 /// Panics if the netlist is sequential/invalid or the pattern width is
 /// wrong.
 pub fn evaluate(netlist: &Netlist, pattern: &BitVec, fault: Option<Fault>) -> Vec<bool> {
-    assert!(netlist.is_combinational(), "reference sim is combinational-only");
+    assert!(
+        netlist.is_combinational(),
+        "reference sim is combinational-only"
+    );
     assert_eq!(pattern.width(), netlist.inputs().len(), "pattern width");
     let order = netlist.levelize().expect("valid netlist");
     let mut values = vec![false; netlist.gate_count()];

@@ -255,9 +255,7 @@ impl FaultSimulator {
             }
             FaultSite::GateInput { gate, pin } => {
                 let g = netlist.gate(gate);
-                let v = eval_forced(g.kind(), g.fanin(), pin as usize, forced_word, |i| {
-                    good[i]
-                });
+                let v = eval_forced(g.kind(), g.fanin(), pin as usize, forced_word, |i| good[i]);
                 if v == good[gate.index()] {
                     return 0;
                 }
@@ -389,7 +387,9 @@ mod tests {
     use fbist_netlist::{bench, embedded};
 
     fn exhaustive_patterns(width: usize) -> Vec<BitVec> {
-        (0..(1u64 << width)).map(|v| BitVec::from_u64(width, v)).collect()
+        (0..(1u64 << width))
+            .map(|v| BitVec::from_u64(width, v))
+            .collect()
     }
 
     #[test]
@@ -457,10 +457,7 @@ mod tests {
         let dict = sim.dictionary(&patterns, &faults);
         for (fid, _f) in faults.iter() {
             let expect = (0..patterns.len()).find(|&p| dict.get(p, fid.index()));
-            assert_eq!(
-                res.first_detection[fid.index()].map(|v| v as usize),
-                expect
-            );
+            assert_eq!(res.first_detection[fid.index()].map(|v| v as usize), expect);
         }
     }
 

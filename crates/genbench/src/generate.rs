@@ -39,8 +39,7 @@ pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
     // cone budget: each cone of width w costs roughly w inverters + a tree
     let cone_cost = profile.resistant_cones * (profile.cone_width + 2);
     let body_gates = profile.gates.saturating_sub(cone_cost).max(8);
-    let mut gate_no = 0usize;
-    for _ in 0..body_gates {
+    for gate_no in 0..body_gates {
         let kind = pick_kind(&mut rng);
         let fanin_count = match kind {
             GateKind::Not | GateKind::Buff => 1,
@@ -65,7 +64,6 @@ pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
         let id = n
             .add_gate(kind, format!("g{gate_no}"), fanin)
             .expect("generator produces unique names and valid fanins");
-        gate_no += 1;
         nets.push(id);
     }
 
@@ -124,9 +122,7 @@ pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
         let chunk = dangling.len().div_ceil(po_budget);
         let mut po_no = 0usize;
         while !dangling.is_empty() {
-            let take: Vec<GateId> = dangling
-                .drain(..chunk.min(dangling.len()))
-                .collect();
+            let take: Vec<GateId> = dangling.drain(..chunk.min(dangling.len())).collect();
             let out = if take.len() == 1 {
                 take[0]
             } else {
@@ -141,9 +137,23 @@ pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
             }
         }
     }
-    // 3) any POs still missing: observe random internal nets
+    // 3) any POs still missing: observe random internal nets.
+    //    `add_output` dedupes, so only count picks that actually landed;
+    //    fall back to a scan once random picks keep hitting existing POs.
+    let mut misses = 0usize;
     while po_budget > 0 {
-        let net = pick_net(&mut rng, &nets);
+        let net = if misses < 64 {
+            pick_net(&mut rng, &nets)
+        } else {
+            match nets.iter().copied().find(|id| !n.outputs().contains(id)) {
+                Some(fresh) => fresh,
+                None => break, // every net already observed
+            }
+        };
+        if n.outputs().contains(&net) {
+            misses += 1;
+            continue;
+        }
         n.add_output(net);
         po_budget -= 1;
     }
@@ -210,9 +220,15 @@ mod tests {
         let p = profile("c499").unwrap().scaled(0.5);
         let a = generate(&p, 7);
         let b = generate(&p, 7);
-        assert_eq!(fbist_netlist::bench::to_bench(&a), fbist_netlist::bench::to_bench(&b));
+        assert_eq!(
+            fbist_netlist::bench::to_bench(&a),
+            fbist_netlist::bench::to_bench(&b)
+        );
         let c = generate(&p, 8);
-        assert_ne!(fbist_netlist::bench::to_bench(&a), fbist_netlist::bench::to_bench(&c));
+        assert_ne!(
+            fbist_netlist::bench::to_bench(&a),
+            fbist_netlist::bench::to_bench(&c)
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub struct CircuitProfile {
 
 impl CircuitProfile {
     /// Creates a custom profile.
-    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, flip_flops: usize, gates: usize) -> CircuitProfile {
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        flip_flops: usize,
+        gates: usize,
+    ) -> CircuitProfile {
         let gates_f = gates as f64;
         CircuitProfile {
             name: name.into(),
@@ -132,8 +138,8 @@ pub fn all_profiles() -> Vec<CircuitProfile> {
 /// The 16 circuits of the paper's evaluation, in Table-1 order.
 pub fn paper_suite() -> Vec<CircuitProfile> {
     let paper = [
-        "c499", "c880", "c1355", "c1908", "c7552", "s420", "s641", "s820", "s838", "s953",
-        "s1238", "s1423", "s5378", "s9234", "s13207", "s15850",
+        "c499", "c880", "c1355", "c1908", "c7552", "s420", "s641", "s820", "s838", "s953", "s1238",
+        "s1423", "s5378", "s9234", "s13207", "s15850",
     ];
     paper
         .iter()

@@ -122,9 +122,9 @@ pub fn parse_named(src: &str, name: &str) -> Result<Netlist, BenchParseError> {
                 return Err(BenchParseError::new(lineno, "missing closing ')'"));
             }
             let kind_str = rhs[..open].trim();
-            let kind: GateKind = kind_str
-                .parse()
-                .map_err(|_| BenchParseError::new(lineno, format!("unknown gate kind {kind_str:?}")))?;
+            let kind: GateKind = kind_str.parse().map_err(|_| {
+                BenchParseError::new(lineno, format!("unknown gate kind {kind_str:?}"))
+            })?;
             let args = &rhs[open + 1..rhs.len() - 1];
             let fanin_names: Vec<String> = if args.trim().is_empty() {
                 Vec::new()
@@ -155,7 +155,10 @@ pub fn parse_named(src: &str, name: &str) -> Result<Netlist, BenchParseError> {
         match d {
             Decl::Input(n) => {
                 if ids.insert(n.as_str(), gate_decls.len()).is_some() {
-                    return Err(BenchParseError::new(0, format!("duplicate definition of {n:?}")));
+                    return Err(BenchParseError::new(
+                        0,
+                        format!("duplicate definition of {n:?}"),
+                    ));
                 }
                 gate_decls.push((n.as_str(), GateKind::Input, NO_FANIN));
             }
@@ -334,11 +337,7 @@ pub fn to_bench(netlist: &Netlist) -> String {
         if g.kind() == GateKind::Input {
             continue;
         }
-        let fanins: Vec<&str> = g
-            .fanin()
-            .iter()
-            .map(|&f| netlist.gate(f).name())
-            .collect();
+        let fanins: Vec<&str> = g.fanin().iter().map(|&f| netlist.gate(f).name()).collect();
         out.push_str(&format!(
             "{} = {}({})\n",
             g.name(),

@@ -103,7 +103,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate {gate:?} has dangling fanin {fanin}")
             }
             NetlistError::BadArity { gate, kind, got } => {
-                write!(f, "gate {gate:?} of kind {kind} has invalid fanin count {got}")
+                write!(
+                    f,
+                    "gate {gate:?} of kind {kind} has invalid fanin count {got}"
+                )
             }
             NetlistError::CombinationalCycle { gate } => {
                 write!(f, "combinational cycle through gate {gate:?}")
@@ -191,7 +194,10 @@ impl Netlist {
         }
         for &f in &fanin {
             if f.index() >= self.gates.len() {
-                return Err(NetlistError::DanglingFanin { gate: name, fanin: f });
+                return Err(NetlistError::DanglingFanin {
+                    gate: name,
+                    fanin: f,
+                });
             }
         }
         let id = GateId(self.gates.len() as u32);
@@ -354,8 +360,7 @@ impl Netlist {
         // rather than computed: primary inputs, constants, and DFF outputs
         // (the Q value comes from the previous cycle). The DFF gate itself
         // therefore never appears as a dependence of anything.
-        let is_assigned =
-            |k: GateKind| -> bool { k.is_source() || k.is_state() };
+        let is_assigned = |k: GateKind| -> bool { k.is_source() || k.is_state() };
         let mut indeg = vec![0usize; n];
         let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, g) in self.gates.iter().enumerate() {

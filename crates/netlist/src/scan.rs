@@ -88,7 +88,9 @@ impl ScanView {
 /// Panics if the input netlist fails validation (callers are expected to
 /// have validated or constructed it through the builder API).
 pub fn full_scan(netlist: &Netlist) -> ScanView {
-    netlist.validate().expect("full_scan requires a valid netlist");
+    netlist
+        .validate()
+        .expect("full_scan requires a valid netlist");
     let mut comb = Netlist::new(format!("{}_scan", netlist.name()));
     let mut map: Vec<Option<GateId>> = vec![None; netlist.gate_count()];
 

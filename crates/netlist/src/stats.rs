@@ -74,12 +74,7 @@ impl NetlistStats {
             *by_kind.entry(g.kind()).or_insert(0) += 1;
             max_fanin = max_fanin.max(g.fanin().len());
         }
-        let max_fanout = netlist
-            .fanouts()
-            .iter()
-            .map(|f| f.len())
-            .max()
-            .unwrap_or(0);
+        let max_fanout = netlist.fanouts().iter().map(|f| f.len()).max().unwrap_or(0);
         NetlistStats {
             name: netlist.name().to_owned(),
             inputs: netlist.inputs().len(),

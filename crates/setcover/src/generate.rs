@@ -102,10 +102,7 @@ mod tests {
         let r = reduce(&m, &ReducerConfig::default());
         let (ar, ac) = r.residual_size();
         // the hard tail forces essentials; the easy head gets dominated
-        assert!(
-            ar < 60 && ac < 200,
-            "no reduction happened: {ar}x{ac}"
-        );
+        assert!(ar < 60 && ac < 200, "no reduction happened: {ar}x{ac}");
         let sol = solve(&m, &SolveConfig::default());
         assert!(m.is_cover(&sol.rows()));
     }

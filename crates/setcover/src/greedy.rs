@@ -117,9 +117,7 @@ mod tests {
         // takes the big diagonal rows; still must return a valid cover.
         let mat = m(&[
             "11110000", // greedy bait
-            "00001111",
-            "10101010",
-            "01010101",
+            "00001111", "10101010", "01010101",
         ]);
         let cover = greedy_cover(&mat);
         assert!(mat.is_cover(&cover));

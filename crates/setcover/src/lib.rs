@@ -56,5 +56,5 @@ pub use exact::{ExactConfig, ExactResult, ExactSolver};
 pub use greedy::greedy_cover;
 pub use local::{eliminate_redundant, local_search_cover, LocalSearchConfig};
 pub use matrix::DetectionMatrix;
-pub use reduce::{reduce, Reduction, ReductionEvent, ReducerConfig};
+pub use reduce::{reduce, ReducerConfig, Reduction, ReductionEvent};
 pub use solution::{solve, solve_with, CoverSolution, Engine, SolveConfig};

@@ -131,18 +131,27 @@ pub fn local_search_cover(matrix: &DetectionMatrix, config: &LocalSearchConfig) 
         let covered = matrix.union_coverage(&trial);
         uncovered = &uncovered & &!&covered;
         while uncovered.count_ones() > 0 {
-            let mut best_row = usize::MAX;
+            // Randomized tie-breaking among max-gain rows: a deterministic
+            // first-max pick makes the repair a pure function of the ruined
+            // set, collapsing the neighbourhood the descent can explore.
+            let mut ties: Vec<usize> = Vec::new();
             let mut best_gain = 0usize;
             for r in 0..matrix.rows() {
                 let gain = matrix.row_major().count_row_masked(r, &uncovered);
                 if gain > best_gain {
                     best_gain = gain;
-                    best_row = r;
+                    ties.clear();
+                    ties.push(r);
+                } else if gain == best_gain && gain > 0 {
+                    ties.push(r);
                 }
             }
-            if best_row == usize::MAX {
-                break;
-            }
+            let Some(&pick) = ties.first() else { break };
+            let best_row = if ties.len() > 1 {
+                ties[rng.gen_range(0..ties.len())]
+            } else {
+                pick
+            };
             trial.push(best_row);
             uncovered = &uncovered & &!&matrix.row_coverage(best_row);
         }
@@ -150,8 +159,8 @@ pub fn local_search_cover(matrix: &DetectionMatrix, config: &LocalSearchConfig) 
 
         // ---- accept -------------------------------------------------------
         let delta = trial.len() as f64 - current.len() as f64;
-        let accept = delta <= 0.0
-            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        let accept =
+            delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
         if accept {
             current = trial;
             if current.len() < best.len() {

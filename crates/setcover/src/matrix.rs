@@ -111,7 +111,9 @@ impl DetectionMatrix {
     /// Columns not covered by any row at all (a valid instance for the
     /// reseeding flow has none; they can appear in synthetic instances).
     pub fn uncoverable_cols(&self) -> Vec<usize> {
-        (0..self.cols()).filter(|&c| self.col_weight(c) == 0).collect()
+        (0..self.cols())
+            .filter(|&c| self.col_weight(c) == 0)
+            .collect()
     }
 
     /// Fraction of 1-cells.

@@ -247,7 +247,10 @@ pub fn reduce(matrix: &DetectionMatrix, config: &ReducerConfig) -> Reduction {
                         continue; // tie-break: keep the lower index
                     }
                     if matrix.col_major().row_is_subset_masked(d, c, &row_active) {
-                        log.push(ReductionEvent::ColDominated { col: c, implied_by: d });
+                        log.push(ReductionEvent::ColDominated {
+                            col: c,
+                            implied_by: d,
+                        });
                         col_active.set(c, false);
                         changed = true;
                         break;
@@ -277,10 +280,7 @@ mod tests {
 
     fn m(rows: &[&str]) -> DetectionMatrix {
         let cols = rows[0].len();
-        DetectionMatrix::from_rows(
-            cols,
-            rows.iter().map(|s| s.parse().unwrap()).collect(),
-        )
+        DetectionMatrix::from_rows(cols, rows.iter().map(|s| s.parse().unwrap()).collect())
     }
 
     #[test]
@@ -362,10 +362,13 @@ mod tests {
             },
         );
         assert_eq!(r.active_cols, vec![1]);
-        assert!(r
-            .log
-            .iter()
-            .any(|e| matches!(e, ReductionEvent::ColDominated { col: 0, implied_by: 1 })));
+        assert!(r.log.iter().any(|e| matches!(
+            e,
+            ReductionEvent::ColDominated {
+                col: 0,
+                implied_by: 1
+            }
+        )));
     }
 
     #[test]

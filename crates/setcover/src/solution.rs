@@ -6,7 +6,7 @@ use crate::exact::{ExactConfig, ExactSolver};
 use crate::greedy::greedy_cover;
 use crate::local::{local_search_cover, LocalSearchConfig};
 use crate::matrix::DetectionMatrix;
-use crate::reduce::{reduce, Reduction, ReducerConfig};
+use crate::reduce::{reduce, ReducerConfig, Reduction};
 
 /// Which engine processes the residual matrix after reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -179,9 +179,7 @@ mod tests {
         // Remaining cols {2,1,0} over rows 1..4 need the solver.
         let mat = m(&[
             "11000", // essential via col 4
-            "00110",
-            "00011",
-            "00101",
+            "00110", "00011", "00101",
         ]);
         let sol = solve(&mat, &SolveConfig::default());
         assert_eq!(sol.necessary(), &[0]);

@@ -142,7 +142,10 @@ impl EventSimulator {
                     for &fo in &self.fanouts[pi.index()] {
                         if !queued[fo.index()] {
                             queued[fo.index()] = true;
-                            heap.push(std::cmp::Reverse((self.rank[fo.index()], fo.index() as u32)));
+                            heap.push(std::cmp::Reverse((
+                                self.rank[fo.index()],
+                                fo.index() as u32,
+                            )));
                         }
                     }
                 }
@@ -157,7 +160,10 @@ impl EventSimulator {
                     for &fo in &self.fanouts[idx as usize] {
                         if !queued[fo.index()] {
                             queued[fo.index()] = true;
-                            heap.push(std::cmp::Reverse((self.rank[fo.index()], fo.index() as u32)));
+                            heap.push(std::cmp::Reverse((
+                                self.rank[fo.index()],
+                                fo.index() as u32,
+                            )));
                         }
                     }
                 }

@@ -247,7 +247,10 @@ mod tests {
             }
         }
         // expected ~ trials × 2^-12 ≈ 0.12; allow generous slack
-        assert!(alias <= 3, "aliasing rate implausibly high: {alias}/{trials}");
+        assert!(
+            alias <= 3,
+            "aliasing rate implausibly high: {alias}/{trials}"
+        );
     }
 
     #[test]

@@ -135,10 +135,8 @@ impl SeqSimulator {
     ///
     /// Panics if the pattern width differs from the input count.
     pub fn step_pattern(&mut self, pattern: &BitVec) -> BitVec {
-        let pi_words = pack::pack_patterns(
-            self.netlist.inputs().len(),
-            std::slice::from_ref(pattern),
-        );
+        let pi_words =
+            pack::pack_patterns(self.netlist.inputs().len(), std::slice::from_ref(pattern));
         let po_words = self.step(&pi_words);
         pack::unpack_patterns(&po_words, 1).remove(0)
     }

@@ -19,7 +19,8 @@ pub enum AccumulatorOp {
 
 impl AccumulatorOp {
     /// All three paper TPG flavours, in Table-1 order.
-    pub const ALL: [AccumulatorOp; 3] = [AccumulatorOp::Add, AccumulatorOp::Sub, AccumulatorOp::Mul];
+    pub const ALL: [AccumulatorOp; 3] =
+        [AccumulatorOp::Add, AccumulatorOp::Sub, AccumulatorOp::Mul];
 
     /// Short name used in tables (`add` / `sub` / `mul`).
     pub fn name(self) -> &'static str {

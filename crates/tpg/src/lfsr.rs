@@ -391,13 +391,17 @@ mod tests {
     #[test]
     fn wide_lfsr_steps() {
         // 80-bit LFSR exercises multi-word shifting and parity
-        let lfsr = Lfsr::new(80, {
-            let mut t = BitVec::zeros(80);
-            t.set(0, true);
-            t.set(9, true);
-            t.set(79, true);
-            t
-        }, LfsrKind::Fibonacci);
+        let lfsr = Lfsr::new(
+            80,
+            {
+                let mut t = BitVec::zeros(80);
+                t.set(0, true);
+                t.set(9, true);
+                t.set(79, true);
+                t
+            },
+            LfsrKind::Fibonacci,
+        );
         let mut state = BitVec::from_u64(80, 1);
         for _ in 0..100 {
             state = lfsr.step(&state);

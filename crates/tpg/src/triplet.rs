@@ -90,7 +90,11 @@ impl Triplet {
 
 impl fmt::Display for Triplet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(δ={:x}, θ={:x}, τ={})", self.delta, self.theta, self.tau)
+        write!(
+            f,
+            "(δ={:x}, θ={:x}, τ={})",
+            self.delta, self.theta, self.tau
+        )
     }
 }
 

@@ -44,7 +44,10 @@ impl WeightedTpg {
     ///
     /// Panics unless `1 <= weight_num <= 7`.
     pub fn new(width: usize, weight_num: u8) -> WeightedTpg {
-        assert!((1..=7).contains(&weight_num), "weight must be in 1..=7 eighths");
+        assert!(
+            (1..=7).contains(&weight_num),
+            "weight must be in 1..=7 eighths"
+        );
         WeightedTpg {
             width,
             weight_num,
@@ -137,10 +140,7 @@ mod tests {
         let light = WeightedTpg::new(64, 1);
         let t = Triplet::new(BitVec::from_u64(64, 1), BitVec::from_u64(64, 2), 50);
         let ones = |tpg: &WeightedTpg| -> usize {
-            tpg.expand(&t)[1..]
-                .iter()
-                .map(|p| p.count_ones())
-                .sum()
+            tpg.expand(&t)[1..].iter().map(|p| p.count_ones()).sum()
         };
         let h = ones(&heavy);
         let l = ones(&light);

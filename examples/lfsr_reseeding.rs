@@ -34,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let report = flow.run(&FlowConfig::new(kind).with_tau(63));
         assert!(report.covers_all_target_faults());
-        let triplets: Vec<Triplet> = report
-            .selected
-            .iter()
-            .map(|s| s.triplet.clone())
-            .collect();
+        let triplets: Vec<Triplet> = report.selected.iter().map(|s| s.triplet.clone()).collect();
         let rom = solution_rom_bits(&triplets, AreaModel::PerTripletTau);
         // raw storage baseline: the ATPG test set, one full pattern each
         let raw = raw_bits.get_or_insert_with(|| report.initial_triplets * width);

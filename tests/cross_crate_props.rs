@@ -191,7 +191,9 @@ fn scan_core_equals_one_sequential_cycle() {
             let next_state = ssim.state_pattern();
             // scan core: PI ++ PPI → PO ++ PPO
             let scan_in = input.concat(&state);
-            let resp = psim.simulate_patterns(std::slice::from_ref(&scan_in)).remove(0);
+            let resp = psim
+                .simulate_patterns(std::slice::from_ref(&scan_in))
+                .remove(0);
             let core_po = resp.resized(view.original_po_count());
             // PPOs live above the original POs in the output list
             let mut core_next = BitVec::zeros(3);
@@ -199,7 +201,10 @@ fn scan_core_equals_one_sequential_cycle() {
                 core_next.set(i, resp.get(view.original_po_count() + i));
             }
             assert_eq!(core_po, po, "PO mismatch at state {state_v} in {in_v}");
-            assert_eq!(core_next, next_state, "next-state mismatch at {state_v}/{in_v}");
+            assert_eq!(
+                core_next, next_state,
+                "next-state mismatch at {state_v}/{in_v}"
+            );
         }
     }
 }

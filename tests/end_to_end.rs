@@ -19,7 +19,11 @@ fn verify_by_replay(netlist: &Netlist, report: &ReseedingReport, kind: TpgKind) 
     for sel in &report.selected {
         patterns.extend(tpg.expand(&sel.triplet));
     }
-    assert_eq!(patterns.len(), report.test_length(), "trimmed lengths add up");
+    assert_eq!(
+        patterns.len(),
+        report.test_length(),
+        "trimmed lengths add up"
+    );
     let fsim = FaultSimulator::new(netlist).unwrap();
     let detected = fsim.detects(&patterns, &target);
     assert_eq!(
@@ -35,7 +39,11 @@ fn embedded_circuits_all_tpgs() {
         for kind in [TpgKind::Adder, TpgKind::Subtracter, TpgKind::Lfsr] {
             let flow = ReseedingFlow::new(&netlist).unwrap();
             let report = flow.run(&FlowConfig::new(kind).with_tau(7));
-            assert!(report.covers_all_target_faults(), "{}/{kind}", netlist.name());
+            assert!(
+                report.covers_all_target_faults(),
+                "{}/{kind}",
+                netlist.name()
+            );
             verify_by_replay(&netlist, &report, kind);
         }
     }
@@ -78,7 +86,9 @@ fn solution_is_no_larger_than_initial() {
 fn flow_is_deterministic() {
     let netlist = genbench_generate(&genbench_profile("tiny64").unwrap(), 5);
     let flow = ReseedingFlow::new(&netlist).unwrap();
-    let cfg = FlowConfig::new(TpgKind::Subtracter).with_tau(15).with_seed(99);
+    let cfg = FlowConfig::new(TpgKind::Subtracter)
+        .with_tau(15)
+        .with_seed(99);
     let a = flow.run(&cfg);
     let b = flow.run(&cfg);
     assert_eq!(a, b);

@@ -9,7 +9,12 @@ use set_covering_reseeding::setcover::{reduce, ReducerConfig};
 fn tau_zero_reproduces_atpgts() {
     let netlist = genbench_generate(&genbench_profile("tiny64").unwrap(), 7);
     let flow = ReseedingFlow::new(&netlist).unwrap();
-    for kind in [TpgKind::Adder, TpgKind::Subtracter, TpgKind::Multiplier, TpgKind::Weighted] {
+    for kind in [
+        TpgKind::Adder,
+        TpgKind::Subtracter,
+        TpgKind::Multiplier,
+        TpgKind::Weighted,
+    ] {
         let cfg = FlowConfig::new(kind).with_tau(0);
         let initial = flow.builder().build(&cfg);
         let tpg = kind.build(netlist.inputs().len());
@@ -80,12 +85,8 @@ fn minimality_no_triplet_removable() {
 fn figure2_monotone_staircase() {
     let profile = genbench_profile("s1238").unwrap().scaled(0.12);
     let netlist = genbench_generate(&profile, 1);
-    let curve = tradeoff_sweep(
-        &netlist,
-        &FlowConfig::new(TpgKind::Adder),
-        &[0, 7, 31, 127],
-    )
-    .unwrap();
+    let curve =
+        tradeoff_sweep(&netlist, &FlowConfig::new(TpgKind::Adder), &[0, 7, 31, 127]).unwrap();
     for w in curve.windows(2) {
         assert!(w[1].triplets <= w[0].triplets);
     }
