@@ -9,15 +9,16 @@
 //!
 //! ```text
 //! cargo run -p fbist-bench --release --bin figure2 [-- --scale 0.35 \
-//!     --circuit s1238 --tpg add --taus 0,3,7,15,31,63,127,255,511]
+//!     --circuit s1238 --tpg add --taus 0,3,7,15,31,63,127,255,511 --jobs 0]
 //! ```
 
-use fbist_bench::{build_circuit, flag, num};
+use fbist_bench::{build_circuit, flag, install_jobs, num};
 use fbist_genbench::profile;
 use reseed_core::{tradeoff_sweep, FlowConfig, TpgKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = install_jobs(&args);
     let circuit = flag(&args, "--circuit").unwrap_or_else(|| "s1238".to_owned());
     let scale: f64 = num(&args, "--scale", 0.35);
     let seed: u64 = num(&args, "--seed", 1);
@@ -43,7 +44,7 @@ fn main() {
     let curve = tradeoff_sweep(&netlist, &cfg, &taus).expect("combinational mimic");
 
     println!(
-        "# Figure 2 — trade-off reseedings vs. test length ({circuit} @ scale {scale}, TPG {tpg}, seed {seed})"
+        "# Figure 2 — trade-off reseedings vs. test length ({circuit} @ scale {scale}, TPG {tpg}, seed {seed}, jobs {jobs})"
     );
     println!(
         "{:>6} {:>10} {:>12} {:>10}",

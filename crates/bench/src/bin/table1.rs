@@ -4,19 +4,20 @@
 //!
 //! ```text
 //! cargo run -p fbist-bench --release --bin table1 [-- --scale 0.15 \
-//!     --circuits c499,s1238 --tau 31 --skip-gatsby --tpg all]
+//!     --circuits c499,s1238 --tau 31 --skip-gatsby --tpg all --jobs 0]
 //! ```
 //!
 //! The paper's headline: the set-covering approach needs 2–25 fewer
 //! triplets than GATSBY on every circuit except s838. The shape to check
 //! here is *set covering ≤ GATSBY everywhere, often strictly better*.
 
-use fbist_bench::{build_circuit, display_name, flag, num, suite_from_args};
+use fbist_bench::{build_circuit, display_name, flag, install_jobs, num, suite_from_args};
 use reseed_core::{FlowConfig, Gatsby, GatsbyConfig, ReseedingFlow, TpgKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let suite = suite_from_args(&args);
+    let jobs = install_jobs(&args);
     let tau: usize = num(&args, "--tau", 31);
     let skip_gatsby = args.iter().any(|a| a == "--skip-gatsby");
     let tpgs: Vec<TpgKind> = match flag(&args, "--tpg").as_deref() {
@@ -36,7 +37,7 @@ fn main() {
     };
 
     println!(
-        "# Table 1 — reseeding solutions (scale {}, τ = {tau}, seed {})",
+        "# Table 1 — reseeding solutions (scale {}, τ = {tau}, seed {}, jobs {jobs})",
         suite.scale, suite.seed
     );
     println!("# set covering (SC) vs GATSBY-GA (GA); ΔK = GA triplets − SC triplets");

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run -p fbist-bench --release --bin table2 [-- --scale 0.15 \
-//!     --circuits c499,s1238 --tau 31 --greedy]
+//!     --circuits c499,s1238 --tau 31 --greedy --jobs 0]
 //! ```
 //!
 //! Shapes to check against the paper:
@@ -14,18 +14,19 @@
 //!   solve by necessary triplets alone);
 //! * other circuits split between solver-only and mixed solutions.
 
-use fbist_bench::{build_circuit, display_name, num, suite_from_args};
+use fbist_bench::{build_circuit, display_name, install_jobs, num, suite_from_args};
 use fbist_setcover::{Engine, SolveConfig};
 use reseed_core::{FlowConfig, ReseedingFlow, TpgKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let suite = suite_from_args(&args);
+    let jobs = install_jobs(&args);
     let tau: usize = num(&args, "--tau", 31);
     let greedy = args.iter().any(|a| a == "--greedy");
 
     println!(
-        "# Table 2 — set-covering algorithm anatomy (scale {}, τ = {tau}, seed {}, engine {})",
+        "# Table 2 — set-covering algorithm anatomy (scale {}, τ = {tau}, seed {}, engine {}, jobs {jobs})",
         suite.scale,
         suite.seed,
         if greedy { "greedy" } else { "exact" }

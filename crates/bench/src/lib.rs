@@ -35,6 +35,24 @@ pub fn num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Parses `--jobs` (0 = auto), installs it process-wide, and returns the
+/// resolved worker count for display. All table/figure binaries accept it;
+/// job counts change wall-clock time only, never results. Exits with
+/// status 1 on a non-numeric value — same contract as the `fbist` CLI —
+/// so a typo can never silently benchmark the wrong configuration.
+pub fn install_jobs(args: &[String]) -> usize {
+    if let Some(v) = flag(args, "--jobs") {
+        match mini_rayon::parse_jobs(&v) {
+            Ok(n) => mini_rayon::set_jobs(n),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    mini_rayon::jobs()
+}
+
 /// The circuit selection for a harness run.
 pub struct Suite {
     /// Profiles to run, already scaled.

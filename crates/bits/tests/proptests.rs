@@ -97,6 +97,20 @@ proptest! {
     }
 
     #[test]
+    fn transposed_roundtrip((rows, cols, words) in bitmatrix()) {
+        let m = matrix_from(rows, cols, &words);
+        let t = m.transposed();
+        prop_assert_eq!(t.rows(), cols);
+        prop_assert_eq!(t.cols(), rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m.get(r, c), t.get(c, r), "cell ({}, {})", r, c);
+            }
+        }
+        prop_assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
     fn hamming_triangle((w, a, b) in wv2(), c in proptest::collection::vec(any::<u64>(), 4)) {
         let a = BitVec::from_words(w, &a);
         let b = BitVec::from_words(w, &b);
@@ -106,6 +120,26 @@ proptest! {
         let ac = a.hamming_distance(&c);
         prop_assert!(ac <= ab + bc);
     }
+}
+
+/// Strategy: matrix dimensions plus enough raw words to fill every row.
+fn bitmatrix() -> impl Strategy<Value = (usize, usize, Vec<u64>)> {
+    (1usize..24, 1usize..150).prop_flat_map(|(rows, cols)| {
+        let per_row = cols.div_ceil(64);
+        (
+            Just(rows),
+            Just(cols),
+            proptest::collection::vec(any::<u64>(), rows * per_row),
+        )
+    })
+}
+
+fn matrix_from(rows: usize, cols: usize, words: &[u64]) -> BitMatrix {
+    let per_row = cols.div_ceil(64);
+    let row_vecs: Vec<BitVec> = (0..rows)
+        .map(|r| BitVec::from_words(cols, &words[r * per_row..(r + 1) * per_row]))
+        .collect();
+    BitMatrix::from_rows(cols, &row_vecs)
 }
 
 /// Strategy: a cube as a string over {0,1,X}.

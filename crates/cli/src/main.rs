@@ -13,7 +13,9 @@
 //!
 //! Circuits are either `.bench` files or built-in profile names
 //! (`fbist profiles` lists them). All subcommands are thin wrappers over
-//! the workspace libraries.
+//! the workspace libraries, and all accept `--jobs N` (0 = auto; also via
+//! the `FBIST_JOBS` environment variable) to size the worker pool the
+//! parallel stages run on — results are identical for every job count.
 
 use std::process::ExitCode;
 
@@ -53,12 +55,16 @@ usage:
   fbist lp <circuit> [--tpg KIND] [--tau N] [--scale F]
 
 <circuit> is a .bench file path or a built-in profile name.
-KIND is one of add, sub, mul, lfsr, mplfsr, wrand.";
+KIND is one of add, sub, mul, lfsr, mplfsr, wrand.
+Every subcommand also accepts --jobs N (worker threads; 0 = auto, also
+settable via the FBIST_JOBS environment variable). Results are identical
+for every job count.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
+    apply_jobs(args)?;
     let rest = &args[1..];
     match cmd.as_str() {
         "profiles" => cmd_profiles(),
@@ -79,6 +85,17 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--jobs` and installs it as the process-wide worker count.
+/// `0` (and an absent flag) means auto: `FBIST_JOBS` if set, else all
+/// available cores. Job counts only affect wall-clock time — results are
+/// bit-identical for every value.
+fn apply_jobs(args: &[String]) -> Result<(), String> {
+    if let Some(v) = flag(args, "--jobs") {
+        mini_rayon::set_jobs(mini_rayon::parse_jobs(&v)?);
+    }
+    Ok(())
 }
 
 fn parse_tpg(args: &[String]) -> Result<TpgKind, String> {
@@ -136,6 +153,10 @@ fn cmd_profiles() -> Result<(), String> {
     for p in all_profiles() {
         println!("  {p}");
     }
+    println!(
+        "worker pool: {} jobs (override with --jobs N or FBIST_JOBS)",
+        mini_rayon::jobs()
+    );
     Ok(())
 }
 

@@ -81,6 +81,57 @@ fn unknown_circuit_fails_cleanly() {
 }
 
 #[test]
+fn jobs_flag_accepts_zero_as_auto() {
+    let (ok, stdout, stderr) = fbist(&["reseed", "c17", "--tau", "3", "--jobs", "0"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("triplets"), "{stdout}");
+}
+
+#[test]
+fn jobs_flag_accepts_explicit_count_with_identical_output() {
+    let (ok1, out1, _) = fbist(&["reseed", "c17", "--tau", "3", "--jobs", "1"]);
+    let (ok4, out4, _) = fbist(&["reseed", "c17", "--tau", "3", "--jobs", "4"]);
+    assert!(ok1 && ok4);
+    assert_eq!(out1, out4, "--jobs must never change results");
+}
+
+#[test]
+fn jobs_flag_rejects_garbage_with_clear_error() {
+    for bad in ["banana", "-2", "1.5"] {
+        let (ok, _, stderr) = fbist(&["reseed", "c17", "--jobs", bad]);
+        assert!(!ok, "--jobs {bad} must be rejected");
+        assert!(
+            stderr.contains("invalid value for --jobs"),
+            "--jobs {bad}: {stderr}"
+        );
+        assert!(stderr.contains("0 = auto"), "--jobs {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn jobs_env_var_is_honoured_and_flag_beats_it() {
+    // `fbist profiles` prints the resolved worker count, so the env path
+    // is observable: a regression in the FBIST_JOBS lookup fails here
+    let resolved = |args: &[&str], env_jobs: Option<&str>| -> String {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_fbist"));
+        cmd.args(args);
+        if let Some(v) = env_jobs {
+            cmd.env("FBIST_JOBS", v);
+        }
+        let out = cmd.output().expect("binary runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        stdout
+            .lines()
+            .find(|l| l.starts_with("worker pool:"))
+            .unwrap_or_else(|| panic!("no worker-pool line in {stdout}"))
+            .to_owned()
+    };
+    assert!(resolved(&["profiles"], Some("2")).contains("worker pool: 2 jobs"));
+    assert!(resolved(&["profiles", "--jobs", "5"], Some("2")).contains("worker pool: 5 jobs"));
+}
+
+#[test]
 fn rom_and_csv_exports() {
     let dir = std::env::temp_dir().join("fbist_cli_smoke");
     std::fs::create_dir_all(&dir).unwrap();

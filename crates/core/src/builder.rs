@@ -94,6 +94,7 @@ impl InitialReseedingBuilder {
             &target_faults,
             config.tau,
             config.seed,
+            config.jobs,
         );
 
         InitialReseeding {
@@ -105,8 +106,19 @@ impl InitialReseedingBuilder {
         }
     }
 
+    /// Triplets handed to one pool dispatch: large enough to amortise the
+    /// scheduling overhead, small enough to load-balance rows whose fanout
+    /// cones differ wildly in simulation cost.
+    const ROW_CHUNK: usize = 4;
+
     /// Builds triplets and the Detection Matrix for an explicit pattern
     /// list and fault list (used by the τ-sweep to reuse one ATPG run).
+    ///
+    /// `jobs` fans the per-triplet fault simulations out across the pool
+    /// (`0` = global default). Every RNG draw happens in the serial
+    /// prologue below, so the triplet stream — and therefore the matrix —
+    /// is a pure function of `(seed, patterns, tau)`: the result is
+    /// bit-identical for every job count.
     pub fn matrix_for(
         &self,
         tpg: &dyn PatternGenerator,
@@ -114,17 +126,23 @@ impl InitialReseedingBuilder {
         target_faults: &FaultList,
         tau: usize,
         seed: u64,
+        jobs: usize,
     ) -> (Vec<Triplet>, DetectionMatrix) {
+        // Serial prologue: derive every triplet (and thus consume the full
+        // RNG stream) before any worker starts, in pattern order. Worker
+        // identity and completion order can never leak into the δ values.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7129_55D1);
         let mut word = move || rng.gen::<u64>();
-        let mut triplets = Vec::with_capacity(patterns.len());
-        let mut rows = Vec::with_capacity(patterns.len());
-        for p in patterns {
-            let triplet = tpg.seed_for(p, &mut word).with_tau(tau);
-            let ts = tpg.expand(&triplet);
-            rows.push(self.fsim.detects(&ts, target_faults));
-            triplets.push(triplet);
-        }
+        let triplets: Vec<Triplet> = patterns
+            .iter()
+            .map(|p| tpg.seed_for(p, &mut word).with_tau(tau))
+            .collect();
+
+        // Parallel region: expansion + fault simulation per triplet, rows
+        // assembled in triplet index order.
+        let rows = mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
+            self.fsim.detects(&tpg.expand(t), target_faults)
+        });
         (
             triplets,
             DetectionMatrix::from_rows(target_faults.len(), rows),
@@ -214,5 +232,22 @@ mod tests {
         let b = build(TpgKind::Adder, 3);
         assert_eq!(a.triplets, b.triplets);
         assert_eq!(a.matrix.row_major(), b.matrix.row_major());
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_for_every_job_count() {
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        let base = FlowConfig::new(TpgKind::Adder).with_tau(9);
+        let serial = b.build(&base.clone().with_jobs(1));
+        for jobs in [2, 4, 16] {
+            let par = b.build(&base.clone().with_jobs(jobs));
+            assert_eq!(serial.triplets, par.triplets, "jobs={jobs}");
+            assert_eq!(
+                serial.matrix.row_major(),
+                par.matrix.row_major(),
+                "jobs={jobs}"
+            );
+        }
     }
 }

@@ -95,6 +95,11 @@ pub struct FlowConfig {
     /// Trim each selected triplet's tail patterns that add no coverage
     /// (the paper's global-test-length accounting, §4).
     pub trim: bool,
+    /// Worker threads for the parallel stages (Detection-Matrix rows, the
+    /// τ sweep, GATSBY fitness evaluation). `0` defers to the global
+    /// [`mini_rayon::jobs`] default (`FBIST_JOBS` / available
+    /// parallelism). Results are bit-identical for every value.
+    pub jobs: usize,
 }
 
 impl FlowConfig {
@@ -107,6 +112,7 @@ impl FlowConfig {
             atpg: AtpgConfig::default(),
             solve: SolveConfig::default(),
             trim: true,
+            jobs: 0,
         }
     }
 
@@ -138,6 +144,13 @@ impl FlowConfig {
     /// Replaces the ATPG configuration.
     pub fn with_atpg(mut self, atpg: AtpgConfig) -> FlowConfig {
         self.atpg = atpg;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = global default). Purely a
+    /// throughput knob: every job count computes the same results.
+    pub fn with_jobs(mut self, jobs: usize) -> FlowConfig {
+        self.jobs = jobs;
         self
     }
 }

@@ -45,6 +45,9 @@ pub struct GatsbyConfig {
     pub max_rounds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the fitness evaluations (`0` = global default).
+    /// Purely a throughput knob — every value computes the same result.
+    pub jobs: usize,
 }
 
 impl Default for GatsbyConfig {
@@ -59,6 +62,7 @@ impl Default for GatsbyConfig {
             stall_rounds: 8,
             max_rounds: 256,
             seed: 0x6A75_BEEF,
+            jobs: 0,
         }
     }
 }
@@ -167,12 +171,22 @@ impl Gatsby {
 
             for _gen in 0..config.generations {
                 fitness.clear();
-                for (delta, theta) in &population {
+                // Parallel region: the fitness of each chromosome is an
+                // independent fault simulation and draws no RNG — all
+                // randomness (population init, selection, crossover,
+                // mutation) stays in the sequential GA loop around it.
+                // Folding the results in chromosome order reproduces the
+                // sequential first-strict-max `best` exactly.
+                let evaluated = mini_rayon::par_map_indexed(config.jobs, population.len(), |i| {
+                    let (delta, theta) = &population[i];
                     let triplet = Triplet::new(delta.clone(), theta.clone(), config.tau);
                     let ts = tpg.expand(&triplet);
                     let res = self.fsim.run(&ts, &remaining);
-                    sim_calls += 1;
                     let fit = res.detected_count();
+                    (fit, triplet, res)
+                });
+                sim_calls += evaluated.len();
+                for (fit, triplet, res) in evaluated {
                     if best.as_ref().is_none_or(|(b, _, _)| fit > *b) {
                         best = Some((fit, triplet, res));
                     }
@@ -283,6 +297,32 @@ mod tests {
         let b = g.run(&faults, &cfg);
         assert_eq!(a.triplets, b.triplets);
         assert_eq!(a.fault_sim_calls, b.fault_sim_calls);
+    }
+
+    #[test]
+    fn result_invariant_in_jobs() {
+        let n = embedded::c17();
+        let faults = FaultList::collapsed(&n);
+        let g = Gatsby::new(&n).unwrap();
+        let serial = g.run(
+            &faults,
+            &GatsbyConfig {
+                jobs: 1,
+                ..GatsbyConfig::default()
+            },
+        );
+        for jobs in [2, 8] {
+            let par = g.run(
+                &faults,
+                &GatsbyConfig {
+                    jobs,
+                    ..GatsbyConfig::default()
+                },
+            );
+            assert_eq!(par.triplets, serial.triplets, "jobs={jobs}");
+            assert_eq!(par.test_length, serial.test_length, "jobs={jobs}");
+            assert_eq!(par.fault_sim_calls, serial.fault_sim_calls, "jobs={jobs}");
+        }
     }
 
     #[test]

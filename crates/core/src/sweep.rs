@@ -32,6 +32,12 @@ pub struct SweepPoint {
 /// Matrix and the covering computation are redone, which is exactly the
 /// efficiency argument §4 makes against simulation-driven methods.
 ///
+/// The τ points are independent, so they evaluate in parallel on the
+/// workspace pool (`config.jobs`; `0` = global default). Each point's RNG
+/// stream is derived from `config.seed` alone — never from the worker that
+/// happens to compute it — so the curve is bit-identical for every job
+/// count, and points come back in the order of `taus`.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`] from flow construction.
@@ -61,19 +67,19 @@ pub fn tradeoff_sweep(
     // one shared ATPG run
     let base = flow.builder().build(config);
     let tpg = config.tpg.build(netlist.inputs().len());
-    let mut out = Vec::with_capacity(taus.len());
-    for &tau in taus {
+    let out = mini_rayon::par_map_indexed(config.jobs, taus.len(), |i| {
+        let tau = taus[i];
         let initial = rebuild_at_tau(flow.builder(), &base, &tpg, tau, config);
         let cfg = config.clone().with_tau(tau);
         let report = flow.finish(&cfg, &initial);
-        out.push(SweepPoint {
+        SweepPoint {
             tau,
             triplets: report.triplet_count(),
             test_length: report.test_length(),
             rom_bits: report.rom_bits(),
             report,
-        });
-    }
+        }
+    });
     Ok(out)
 }
 
@@ -90,6 +96,7 @@ fn rebuild_at_tau(
         &base.target_faults,
         tau,
         config.seed,
+        config.jobs,
     );
     crate::builder::InitialReseeding {
         triplets,
@@ -139,5 +146,18 @@ mod tests {
         let curve = tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Lfsr), &[7]).unwrap();
         assert_eq!(curve[0].report.tau, 7);
         assert_eq!(curve[0].rom_bits, curve[0].report.rom_bits());
+    }
+
+    #[test]
+    fn curve_invariant_in_jobs() {
+        let n = generate(&profile("tiny64").unwrap(), 4);
+        let taus = [0, 3, 7, 15];
+        let serial =
+            tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Adder).with_jobs(1), &taus).unwrap();
+        for jobs in [2, 8] {
+            let par = tradeoff_sweep(&n, &FlowConfig::new(TpgKind::Adder).with_jobs(jobs), &taus)
+                .unwrap();
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
     }
 }

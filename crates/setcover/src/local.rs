@@ -14,6 +14,13 @@
 //!    and greedily repair, keeping improvements (with an optional
 //!    simulated-annealing acceptance for escaping plateaus).
 //!
+//! The descent is wrapped in a **restart loop**: independent descents from
+//! seeds derived from the master seed, evaluated in parallel on the
+//! workspace pool, best cover wins (ties go to the lowest restart index,
+//! so the result is bit-identical for every job count — restart 0 with a
+//! single restart reproduces the historical single-descent behaviour
+//! exactly).
+//!
 //! The result is always a valid cover; with enough iterations it matches
 //! the exact optimum on small instances (tested), without the exponential
 //! worst case.
@@ -36,8 +43,13 @@ pub struct LocalSearchConfig {
     pub temperature: f64,
     /// Geometric cooling factor per iteration.
     pub cooling: f64,
-    /// RNG seed.
+    /// RNG seed (restart 0 uses it verbatim; later restarts derive theirs
+    /// from it).
     pub seed: u64,
+    /// Independent descents to run; the best cover wins. At least 1.
+    pub restarts: usize,
+    /// Worker threads for the restart loop (`0` = global default).
+    pub jobs: usize,
 }
 
 impl Default for LocalSearchConfig {
@@ -48,6 +60,8 @@ impl Default for LocalSearchConfig {
             temperature: 1.0,
             cooling: 0.99,
             seed: 0x10CA_15EA,
+            restarts: 4,
+            jobs: 0,
         }
     }
 }
@@ -107,7 +121,37 @@ pub fn eliminate_redundant(matrix: &DetectionMatrix, cover: &[usize]) -> Vec<usi
 /// assert_eq!(cover.len(), 2); // finds the optimum greedy misses
 /// ```
 pub fn local_search_cover(matrix: &DetectionMatrix, config: &LocalSearchConfig) -> Vec<usize> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let restarts = config.restarts.max(1);
+    // Per-restart seeds are derived from the master seed and the restart
+    // index *before* dispatch — worker identity never reaches the RNG, so
+    // the winner is the same for every job count. Restart 0 keeps the
+    // master seed itself: `restarts = 1` is the historical single descent.
+    let covers = mini_rayon::par_map_indexed(config.jobs, restarts, |i| {
+        let seed = if i == 0 {
+            config.seed
+        } else {
+            derive_seed(config.seed, i as u64)
+        };
+        descend(matrix, config, seed)
+    });
+    covers
+        .into_iter()
+        .reduce(|best, c| if c.len() < best.len() { c } else { best })
+        .expect("at least one restart")
+}
+
+/// SplitMix64 finaliser over `(master, index)` — statistically independent
+/// streams for each restart, reproducible from the master seed alone.
+fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One ruin-and-recreate descent from an explicit seed.
+fn descend(matrix: &DetectionMatrix, config: &LocalSearchConfig, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut current = eliminate_redundant(matrix, &greedy_cover(matrix));
     let mut best = current.clone();
     let mut temperature = config.temperature;
@@ -245,6 +289,42 @@ mod tests {
         let m = detection_shaped(40, 120, 3);
         let cfg = LocalSearchConfig::default();
         assert_eq!(local_search_cover(&m, &cfg), local_search_cover(&m, &cfg));
+    }
+
+    #[test]
+    fn restart_winner_invariant_in_jobs() {
+        let m = detection_shaped(40, 120, 7);
+        let base = LocalSearchConfig {
+            restarts: 8,
+            jobs: 1,
+            ..LocalSearchConfig::default()
+        };
+        let serial = local_search_cover(&m, &base);
+        for jobs in [2, 8] {
+            let cfg = LocalSearchConfig { jobs, ..base };
+            assert_eq!(local_search_cover(&m, &cfg), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let m = random_instance(25, 60, 0.12, 3);
+        let one = local_search_cover(
+            &m,
+            &LocalSearchConfig {
+                restarts: 1,
+                ..LocalSearchConfig::default()
+            },
+        );
+        let eight = local_search_cover(
+            &m,
+            &LocalSearchConfig {
+                restarts: 8,
+                ..LocalSearchConfig::default()
+            },
+        );
+        assert!(m.is_cover(&eight));
+        assert!(eight.len() <= one.len());
     }
 
     #[test]

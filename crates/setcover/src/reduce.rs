@@ -101,7 +101,7 @@ pub enum ReductionEvent {
 }
 
 /// Result of [`reduce`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reduction {
     /// Rows forced into every solution ("necessary triplets"), in
     /// discovery order.

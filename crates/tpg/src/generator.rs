@@ -24,8 +24,11 @@ use crate::triplet::Triplet;
 /// `expand` must always return `triplet.tau() + 1` patterns.
 ///
 /// The trait is object-safe; the reseeding flow stores TPGs as
-/// `Box<dyn PatternGenerator>`.
-pub trait PatternGenerator {
+/// `Box<dyn PatternGenerator>`. Implementations must be `Send + Sync`:
+/// the parallel Detection-Matrix builder shares one generator across the
+/// worker pool (expansion is a pure function of the triplet, so this costs
+/// implementations nothing — they are plain data).
+pub trait PatternGenerator: Send + Sync {
     /// Register/pattern width in bits.
     fn width(&self) -> usize;
 

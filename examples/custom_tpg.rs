@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow = ReseedingFlow::new(&netlist)?;
     let (triplets, matrix) =
         flow.builder()
-            .matrix_for(&tpg, &atpg_result.patterns, &target, 31, 0xC0FFEE);
+            .matrix_for(&tpg, &atpg_result.patterns, &target, 31, 0xC0FFEE, 0);
     println!(
         "custom-TPG detection matrix: {} x {} (density {:.3})",
         matrix.rows(),

@@ -11,11 +11,23 @@
 //! HTML reports. Good enough to compare orders of magnitude and to keep
 //! `cargo bench` runnable offline; swap in real Criterion when the
 //! registry is reachable for publication-quality numbers.
+//!
+//! # Machine-readable results
+//!
+//! When run under `cargo bench` (i.e. with the `--bench` argument cargo
+//! passes to bench executables), every measurement is also merged into a
+//! flat JSON map `{"group/name": mean_nanoseconds}` at
+//! `BENCH_results.json` in the workspace root (override the path with the
+//! `BENCH_RESULTS_PATH` environment variable). Successive bench binaries
+//! merge into the same file, so one `cargo bench` run accumulates the
+//! whole suite — the perf-trajectory baseline the repo tracks in git.
 
 #![forbid(unsafe_code)]
 
+use std::cell::RefCell;
 use std::fmt;
 use std::hint;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a benchmarked computation.
@@ -153,7 +165,9 @@ impl BenchmarkGroup<'_> {
 
 /// The benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: RefCell<Vec<(String, u128)>>,
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -187,10 +201,114 @@ impl Criterion {
             format!("{group}/{id}")
         };
         match mean {
-            Some(d) => println!("bench: {name:<48} {d:>12.3?}/iter"),
+            Some(d) => {
+                println!("bench: {name:<48} {d:>12.3?}/iter");
+                self.results.borrow_mut().push((name, d.as_nanos()));
+            }
             None => println!("bench: {name:<48} (no measurement)"),
         }
     }
+
+    /// Writes the collected results to [`results_path`] if this process
+    /// was launched by `cargo bench` (cargo passes `--bench` to bench
+    /// executables). Called by [`criterion_main!`]; unit tests invoking
+    /// groups manually never touch the filesystem.
+    pub fn maybe_write_results(&self) {
+        if std::env::args().any(|a| a == "--bench") {
+            let path = results_path();
+            if let Err(e) = self.write_results_to(&path) {
+                eprintln!("criterion shim: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+
+    /// Merges the collected results into the flat JSON map at `path`
+    /// (creating it if absent) — existing entries for other benches are
+    /// kept, re-measured entries are overwritten.
+    pub fn write_results_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut merged = std::fs::read_to_string(path)
+            .map(|text| parse_flat_json(&text))
+            .unwrap_or_default();
+        for (name, ns) in self.results.borrow().iter() {
+            merged.retain(|(n, _)| n != name);
+            merged.push((name.clone(), *ns));
+        }
+        merged.sort();
+        std::fs::write(path, render_flat_json(&merged))
+    }
+}
+
+/// The destination for machine-readable results: `BENCH_RESULTS_PATH` if
+/// set, else `BENCH_results.json` in the nearest ancestor directory that
+/// holds a `Cargo.lock` (the workspace root — `cargo bench` runs bench
+/// executables from the package directory), else the current directory.
+pub fn results_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_RESULTS_PATH") {
+        return PathBuf::from(p);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("BENCH_results.json");
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd.join("BENCH_results.json"),
+        }
+    }
+}
+
+/// Parses the flat `{"name": number}` JSON this shim writes. Forgiving:
+/// anything that does not look like a string key and an integer value is
+/// skipped rather than erroring, so a hand-edited file cannot wedge
+/// benching.
+pub fn parse_flat_json(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let name = &rest[..close];
+        rest = &rest[close + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        let after = rest[colon + 1..].trim_start();
+        if let Some(in_string) = after.strip_prefix('"') {
+            // quoted (non-integer) value: consume the whole string token so
+            // its content cannot be mistaken for the next key
+            let skip = in_string.find('"').map_or(in_string.len(), |i| i + 1);
+            rest = &in_string[skip..];
+            continue;
+        }
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(ns) = digits.parse::<u128>() {
+            out.push((name.to_owned(), ns));
+        }
+        rest = after;
+    }
+    out
+}
+
+/// Renders the flat JSON map, one `"name": ns` entry per line. Quotes and
+/// backslashes in names are replaced with `_` rather than escaped — the
+/// parser above is escape-free, and bench names never legitimately contain
+/// either, so sanitising keeps round-trips lossless for every real name.
+pub fn render_flat_json(entries: &[(String, u128)]) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let clean: String = name
+            .chars()
+            .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+            .collect();
+        s.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            clean,
+            ns,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("}\n");
+    s
 }
 
 /// Bundles benchmark functions into one group runner, Criterion-style.
@@ -210,6 +328,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut criterion = $crate::Criterion::default();
             $( $group(&mut criterion); )+
+            criterion.maybe_write_results();
         }
     };
 }
@@ -240,5 +359,65 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn flat_json_roundtrips() {
+        let entries = vec![
+            ("flow/tiny64".to_owned(), 123_456u128),
+            ("par_matrix/jobs/4".to_owned(), 7u128),
+        ];
+        let text = render_flat_json(&entries);
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(parse_flat_json(&text), entries);
+        assert_eq!(parse_flat_json("{}"), Vec::new());
+        // junk values are skipped, not fatal
+        assert_eq!(
+            parse_flat_json("{\"a\": oops, \"b\": 9}"),
+            vec![("b".to_owned(), 9)]
+        );
+        // a quoted value (hand-edited file) must not desync key/value
+        // pairing: its content is skipped, later entries survive intact
+        assert_eq!(
+            parse_flat_json("{\"a\": \"5\", \"b\": 9}"),
+            vec![("b".to_owned(), 9)]
+        );
+        // hostile names are sanitised so the round-trip cannot corrupt
+        // the merge on the next bench run
+        let weird = vec![("a\"b\\c".to_owned(), 1u128), ("normal".to_owned(), 2)];
+        assert_eq!(
+            parse_flat_json(&render_flat_json(&weird)),
+            vec![("a_b_c".to_owned(), 1), ("normal".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn results_merge_keeps_other_benches_and_overwrites_same() {
+        let dir = std::env::temp_dir().join("criterion_shim_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let _ = std::fs::remove_file(&path);
+
+        let c = Criterion::default();
+        c.results.borrow_mut().push(("g/a".to_owned(), 100));
+        c.results.borrow_mut().push(("g/b".to_owned(), 200));
+        c.write_results_to(&path).unwrap();
+
+        let c2 = Criterion::default();
+        c2.results.borrow_mut().push(("g/b".to_owned(), 999));
+        c2.results.borrow_mut().push(("h/c".to_owned(), 300));
+        c2.write_results_to(&path).unwrap();
+
+        let merged = parse_flat_json(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(
+            merged,
+            vec![
+                ("g/a".to_owned(), 100),
+                ("g/b".to_owned(), 999),
+                ("h/c".to_owned(), 300),
+            ]
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

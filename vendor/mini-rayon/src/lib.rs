@@ -1,0 +1,402 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the small data-parallel subset the reseeding pipeline needs: a scoped
+//! fork-join pool with dynamic (work-stealing-style) index dispatch, an
+//! order-preserving parallel map ([`par_map_indexed`], [`par_chunks_map`]),
+//! a [`scope`]/[`Scope::spawn`] helper, and the global [`Jobs`] knob
+//! resolved from the builder API, the `FBIST_JOBS` environment variable,
+//! or the machine's available parallelism — in that order.
+//!
+//! # Determinism contract
+//!
+//! Every helper returns results **in input index order**, regardless of
+//! which worker computed which item and in which real-time order items
+//! finished. Combined with the workspace rule that no RNG is ever drawn
+//! inside a parallel region (per-task streams are derived from the master
+//! seed *before* dispatch), any computation built on these helpers is
+//! bit-identical for every job count — `jobs = 64` must equal `jobs = 1`.
+//!
+//! # Scheduling
+//!
+//! Workers (including the calling thread, which always participates) pull
+//! the next pending index from a shared atomic cursor, so a slow item never
+//! stalls the queue behind it — the same load-balancing property a
+//! work-stealing deque provides, without per-worker queues. Nested
+//! parallel regions execute serially on the worker they land on, keeping
+//! the total thread count bounded by the job count.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = mini_rayon::par_map_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted when no explicit job count is installed.
+pub const JOBS_ENV: &str = "FBIST_JOBS";
+
+/// Global job-count override; 0 = unset (resolve from env / hardware).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// `true` while this thread is executing inside a parallel region;
+    /// nested regions then run serially instead of spawning more threads.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The workspace-wide parallelism configuration, builder-style.
+///
+/// A job count of `0` means *auto*: resolve from the [`JOBS_ENV`]
+/// environment variable, falling back to
+/// [`std::thread::available_parallelism`].
+///
+/// ```
+/// mini_rayon::Jobs::exact(2).install();
+/// assert_eq!(mini_rayon::jobs(), 2);
+/// mini_rayon::Jobs::auto().install(); // back to env / hardware
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(usize);
+
+impl Jobs {
+    /// Resolve from `FBIST_JOBS` or the hardware at each use site.
+    pub fn auto() -> Jobs {
+        Jobs(0)
+    }
+
+    /// Exactly `n` workers (`n = 0` is the same as [`Jobs::auto`]).
+    pub fn exact(n: usize) -> Jobs {
+        Jobs(n)
+    }
+
+    /// The configured count; 0 = auto.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Installs this configuration as the global default.
+    pub fn install(self) {
+        JOBS_OVERRIDE.store(self.0, Ordering::Relaxed);
+    }
+
+    /// Resolves a per-call job request: `0` defers to the global default
+    /// ([`jobs`]), anything else is taken literally.
+    pub fn resolve(requested: usize) -> usize {
+        if requested == 0 {
+            jobs()
+        } else {
+            requested
+        }
+    }
+}
+
+/// Installs a global job count (`0` = auto). Equivalent to
+/// `Jobs::exact(n).install()`.
+pub fn set_jobs(n: usize) {
+    Jobs::exact(n).install()
+}
+
+/// Parses a `--jobs`-style value — the one shared implementation behind
+/// every front end's flag, so the accepted syntax and the error wording
+/// cannot drift apart.
+///
+/// ```
+/// assert_eq!(mini_rayon::parse_jobs("4"), Ok(4));
+/// assert_eq!(mini_rayon::parse_jobs("0"), Ok(0)); // auto
+/// assert!(mini_rayon::parse_jobs("banana").unwrap_err().contains("--jobs"));
+/// ```
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    v.trim().parse::<usize>().map_err(|_| {
+        format!("invalid value for --jobs: {v:?} (expected a non-negative integer; 0 = auto)")
+    })
+}
+
+/// The effective global job count: the installed override if any, else a
+/// positive `FBIST_JOBS` value, else the machine's available parallelism.
+pub fn jobs() -> usize {
+    let installed = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Upper bound on threads one region may spawn: generous oversubscription
+/// is allowed (workers blocked in nested serial work still make progress),
+/// but an absurd `--jobs` request must not exhaust OS thread limits —
+/// `std::thread::scope` panics on spawn failure mid-region.
+fn worker_cap() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores * 8).max(8)
+}
+
+/// Restores the previous `IN_PARALLEL` flag even on unwind.
+struct RegionGuard(bool);
+
+impl RegionGuard {
+    fn enter() -> RegionGuard {
+        let prev = IN_PARALLEL.with(|f| f.replace(true));
+        RegionGuard(prev)
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_PARALLEL.with(|f| f.set(prev));
+    }
+}
+
+/// Runs `task(i)` for every `i in 0..n` across `workers` threads (the
+/// caller participates as one of them), pulling indices from a shared
+/// cursor. Panics in any task propagate to the caller once all workers
+/// have stopped.
+fn run_strided<F: Fn(usize) + Sync>(workers: usize, n: usize, task: F) {
+    let cursor = AtomicUsize::new(0);
+    let body = || {
+        let _guard = RegionGuard::enter();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            task(i);
+        }
+    };
+    std::thread::scope(|sc| {
+        for _ in 1..workers {
+            sc.spawn(body);
+        }
+        body();
+    });
+}
+
+/// Maps `0..n` through `f` across up to `jobs` workers (`0` = global
+/// default), returning the results **in index order**.
+///
+/// Falls back to a plain serial map when one worker suffices, when `n`
+/// does not justify a fan-out, or when called from inside another parallel
+/// region (nested regions run serially to bound the thread count).
+pub fn par_map_indexed<U, F>(jobs: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = Jobs::resolve(jobs).clamp(1, n.max(1)).min(worker_cap());
+    if workers == 1 || n <= 1 || IN_PARALLEL.with(|flag| flag.get()) {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_strided(workers, n, |i| {
+        *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index dispatched exactly once")
+        })
+        .collect()
+}
+
+/// Maps a slice through `f` in parallel, dispatching `chunk`-sized batches
+/// to amortise scheduling overhead on cheap items. Results come back in
+/// input order; `chunk` never affects them.
+///
+/// ```
+/// let doubled = mini_rayon::par_chunks_map(2, &[1, 2, 3, 4, 5], 2, |&x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+pub fn par_chunks_map<T, U, F>(jobs: usize, items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let per_chunk = par_map_indexed(jobs, n_chunks, |ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(items.len());
+        items[lo..hi].iter().map(&f).collect::<Vec<U>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A queued scope task: boxed so spawn sites of different closure types
+/// can share one list.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A collection of spawned closures executed when the enclosing [`scope`]
+/// call returns from its builder.
+pub struct Scope<'env> {
+    tasks: RefCell<Vec<Task<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `f` for execution on the pool. Closures may borrow from the
+    /// environment enclosing the [`scope`] call.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.tasks.borrow_mut().push(Box::new(f));
+    }
+}
+
+/// Collects tasks via [`Scope::spawn`] and runs them across up to `jobs`
+/// workers (`0` = global default), blocking until all complete. Spawn
+/// order is the dispatch order, but tasks run concurrently — use the
+/// `par_map` helpers when results must line up with inputs.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let sum = AtomicUsize::new(0);
+/// mini_rayon::scope(4, |s| {
+///     let sum = &sum;
+///     for i in 1..=10 {
+///         s.spawn(move || {
+///             sum.fetch_add(i, Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(sum.into_inner(), 55);
+/// ```
+pub fn scope<'env>(jobs: usize, build: impl FnOnce(&Scope<'env>)) {
+    let s = Scope {
+        tasks: RefCell::new(Vec::new()),
+    };
+    build(&s);
+    let tasks = s.tasks.into_inner();
+    let n = tasks.len();
+    let workers = Jobs::resolve(jobs).clamp(1, n.max(1)).min(worker_cap());
+    if workers == 1 || n <= 1 || IN_PARALLEL.with(|flag| flag.get()) {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<Task<'env>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    run_strided(workers, n, |i| {
+        let task = slots[i].lock().expect("task slot poisoned").take();
+        if let Some(t) = task {
+            t();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for jobs in [1, 2, 8] {
+            let out = par_map_indexed(jobs, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "{jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        assert_eq!(par_map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn chunked_map_matches_serial_for_every_chunk_size() {
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for chunk in [1, 2, 7, 57, 1000] {
+            assert_eq!(par_chunks_map(4, &items, chunk, |&x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn scope_runs_every_task_once() {
+        let counter = AtomicUsize::new(0);
+        scope(4, |s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.into_inner(), 64);
+    }
+
+    #[test]
+    fn nested_regions_run_serially_and_correctly() {
+        // inner parallel calls from worker threads must not explode the
+        // thread count — and must still return ordered results
+        let out = par_map_indexed(4, 8, |i| {
+            let inner = par_map_indexed(4, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn results_identical_across_job_counts() {
+        let baseline = par_map_indexed(1, 200, |i| (i as u64).wrapping_mul(0x9E37));
+        for jobs in [2, 3, 16] {
+            assert_eq!(
+                par_map_indexed(jobs, 200, |i| (i as u64).wrapping_mul(0x9E37)),
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_job_requests_are_capped_not_fatal() {
+        // must neither exhaust OS threads nor change results
+        let out = par_map_indexed(usize::MAX, 300, |i| i + 1);
+        assert_eq!(out, (1..=300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_resolution_precedence() {
+        // exact override wins over auto
+        Jobs::exact(3).install();
+        assert_eq!(jobs(), 3);
+        assert_eq!(Jobs::resolve(0), 3);
+        assert_eq!(Jobs::resolve(5), 5);
+        Jobs::auto().install();
+        assert!(jobs() >= 1, "auto resolves to something positive");
+        assert_eq!(Jobs::auto().get(), 0);
+        assert_eq!(Jobs::exact(9).get(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        // the panic reaches the caller either verbatim (caller-thread item)
+        // or as std::thread::scope's "a scoped thread panicked"
+        let _ = par_map_indexed(2, 16, |i| {
+            if i == 11 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}
