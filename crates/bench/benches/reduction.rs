@@ -20,6 +20,7 @@ fn configs() -> Vec<(&'static str, SolveConfig)> {
                 reducer: ReducerConfig::none(),
                 engine: Engine::Exact,
                 exact,
+                ..SolveConfig::default()
             },
         ),
         (
@@ -28,6 +29,7 @@ fn configs() -> Vec<(&'static str, SolveConfig)> {
                 reducer: ReducerConfig::default(),
                 engine: Engine::Exact,
                 exact,
+                ..SolveConfig::default()
             },
         ),
         (
@@ -36,6 +38,7 @@ fn configs() -> Vec<(&'static str, SolveConfig)> {
                 reducer: ReducerConfig::all(),
                 engine: Engine::Exact,
                 exact,
+                ..SolveConfig::default()
             },
         ),
     ]

@@ -1,0 +1,68 @@
+//! Tentpole benchmark: the sparse incremental covering engine vs. the
+//! dense word scans, on Detection-Matrix-shaped instances at the scale of
+//! the `big3500` (≈c7552) and `xl7000` genbench stress profiles.
+//!
+//! Real Detection Matrices over the random-resistant target faults are
+//! sparse — each triplet's test set detects a small fraction of `F` — so
+//! the instances here use a 1–2 % density. The sparse greedy must beat the
+//! dense greedy on the xl-scale instance: CI's `bench` job runs this
+//! bench and asserts that ordering on the `BENCH_results.json` the
+//! criterion shim writes (the committed baseline is refreshed by local
+//! `cargo bench` runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_setcover::generate::random_instance;
+use fbist_setcover::{greedy_cover_with, reduce_with, Backend, DetectionMatrix, ReducerConfig};
+
+/// Instances shaped like the Detection Matrices the stress profiles
+/// produce: rows ≈ initial triplets, cols ≈ random-resistant faults.
+fn instances() -> Vec<(&'static str, DetectionMatrix)> {
+    vec![
+        ("big3500ish_300x1300", random_instance(300, 1300, 0.015, 42)),
+        ("xl7000ish_600x2600", random_instance(600, 2600, 0.012, 42)),
+    ]
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_greedy");
+    group.sample_size(10);
+    for (name, m) in instances() {
+        // the equivalence suite pins this; keep a cheap guard here so a
+        // benchmark run can never silently time two different algorithms
+        assert_eq!(
+            greedy_cover_with(&m, Backend::Dense),
+            greedy_cover_with(&m, Backend::Sparse),
+            "{name}: backends disagree"
+        );
+        group.bench_with_input(BenchmarkId::new("dense", name), &m, |b, m| {
+            b.iter(|| greedy_cover_with(m, Backend::Dense))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", name), &m, |b, m| {
+            b.iter(|| greedy_cover_with(m, Backend::Sparse))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_reduce");
+    group.sample_size(10);
+    let cfg = ReducerConfig::default();
+    for (name, m) in instances() {
+        assert_eq!(
+            reduce_with(&m, &cfg, Backend::Dense),
+            reduce_with(&m, &cfg, Backend::Sparse),
+            "{name}: backends disagree"
+        );
+        group.bench_with_input(BenchmarkId::new("dense", name), &m, |b, m| {
+            b.iter(|| reduce_with(m, &cfg, Backend::Dense))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", name), &m, |b, m| {
+            b.iter(|| reduce_with(m, &cfg, Backend::Sparse))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_reduce);
+criterion_main!(benches);

@@ -189,15 +189,23 @@ impl BitMatrix {
     /// Indices of the columns set in `row`.
     pub fn cols_of_row(&self, row: usize) -> Vec<usize> {
         let mut out = Vec::new();
+        self.for_each_col_of_row(row, |c| out.push(c));
+        out
+    }
+
+    /// Calls `f` with each set column of `row`, in ascending order, without
+    /// allocating. This is the building block of sparse adjacency (CSR)
+    /// construction, where a `Vec` per row would dominate the build cost.
+    #[inline]
+    pub fn for_each_col_of_row(&self, row: usize, mut f: impl FnMut(usize)) {
         for (wi, &w) in self.row_words(row).iter().enumerate() {
             let mut bits = w;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
-                out.push(wi * WORD_BITS + b);
+                f(wi * WORD_BITS + b);
                 bits &= bits - 1;
             }
         }
-        out
     }
 
     /// The transposed matrix (columns become rows). Used to accelerate
@@ -334,6 +342,18 @@ mod tests {
         assert_eq!(m.rows_covering(0), vec![0, 1]);
         assert_eq!(m.rows_covering(4), vec![2]);
         assert_eq!(m.cols_of_row(2), vec![3, 4]);
+    }
+
+    #[test]
+    fn for_each_col_matches_cols_of_row_across_words() {
+        let mut m = BitMatrix::new(2, 150);
+        for c in [0, 63, 64, 100, 149] {
+            m.set(1, c, true);
+        }
+        let mut seen = Vec::new();
+        m.for_each_col_of_row(1, |c| seen.push(c));
+        assert_eq!(seen, m.cols_of_row(1));
+        assert_eq!(seen, vec![0, 63, 64, 100, 149]);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //! fbist profiles
 //! ```
 //!
-//! Circuits are either `.bench` files or built-in profile names
-//! (`fbist profiles` lists them). All subcommands are thin wrappers over
-//! the workspace libraries, and all accept `--jobs N` (0 = auto; also via
-//! the `FBIST_JOBS` environment variable) to size the worker pool the
-//! parallel stages run on — results are identical for every job count.
+//! Circuits are resolved in a fixed namespace order: explicit `.bench`
+//! paths first (a `.bench` suffix or a path separator), then built-in
+//! profile names (`fbist profiles` lists them), then embedded circuits —
+//! so a stray file or directory in the working directory can never shadow
+//! a profile name. All subcommands are thin wrappers over the workspace
+//! libraries, and all accept `--jobs N` (0 = auto; also via the
+//! `FBIST_JOBS` environment variable) to size the worker pool the
+//! parallel stages run on, plus `--backend auto|dense|sparse` to pick the
+//! set-covering implementation — results are identical for every job
+//! count and every backend.
 
 use std::process::ExitCode;
 
@@ -25,7 +30,7 @@ use fbist_genbench::{all_profiles, generate, profile};
 use fbist_netlist::{bench, full_scan, Netlist, NetlistStats};
 use fbist_setcover::lp;
 use reseed_core::{
-    export, tradeoff_sweep, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
+    export, tradeoff_sweep, Backend, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
     ReseedingFlow, TpgKind,
 };
 
@@ -54,17 +59,22 @@ usage:
   fbist compare <circuit> [--tpg KIND] [--tau N] [--scale F]
   fbist lp <circuit> [--tpg KIND] [--tau N] [--scale F]
 
-<circuit> is a .bench file path or a built-in profile name.
+<circuit> is resolved as: an explicit .bench path (`.bench` suffix or a
+path separator), else a built-in profile name, else an embedded circuit.
 KIND is one of add, sub, mul, lfsr, mplfsr, wrand.
 Every subcommand also accepts --jobs N (worker threads; 0 = auto, also
-settable via the FBIST_JOBS environment variable). Results are identical
-for every job count.";
+settable via the FBIST_JOBS environment variable) and --backend
+auto|dense|sparse (set-covering implementation). Results are identical
+for every job count and every backend.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     apply_jobs(args)?;
+    // validate --backend globally (like --jobs) so a typo can never be
+    // silently ignored by a subcommand that does not solve a cover
+    parse_backend(args)?;
     let rest = &args[1..];
     match cmd.as_str() {
         "profiles" => cmd_profiles(),
@@ -98,6 +108,13 @@ fn apply_jobs(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_backend(args: &[String]) -> Result<Backend, String> {
+    match flag(args, "--backend") {
+        None => Ok(Backend::Auto),
+        Some(v) => Backend::parse(&v),
+    }
+}
+
 fn parse_tpg(args: &[String]) -> Result<TpgKind, String> {
     match flag(args, "--tpg").as_deref() {
         None | Some("add") => Ok(TpgKind::Adder),
@@ -119,24 +136,38 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> R
     }
 }
 
-/// Loads a circuit: a `.bench` path, or a profile name (synthesised with
-/// `--scale` / `--seed`). Sequential netlists are full-scanned.
+/// Loads a circuit. Namespaces are resolved in a fixed order:
+///
+/// 1. an **explicit `.bench` path** — the name ends in `.bench` or
+///    contains a path separator;
+/// 2. a **built-in profile** name (synthesised with `--scale`/`--seed`);
+/// 3. an **embedded circuit** (`c17`, …);
+/// 4. as a last resort, any other *existing file* (legacy extensionless
+///    bench files — names that also match a profile or embedded circuit
+///    resolve to those first, so nothing in the cwd can shadow them).
+///
+/// Sequential netlists are full-scanned. Errors name the namespace that
+/// failed instead of a bare I/O message.
 fn load_circuit(args: &[String]) -> Result<Netlist, String> {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("missing circuit argument".into());
     };
     let scale: f64 = parse_num(args, "--scale", 1.0)?;
     let seed: u64 = parse_num(args, "--seed", 1)?;
-    let n = if name.ends_with(".bench") || std::path::Path::new(name).exists() {
-        let text = std::fs::read_to_string(name).map_err(|e| format!("reading {name}: {e}"))?;
-        bench::parse_named(&text, name).map_err(|e| format!("parsing {name}: {e}"))?
+    let explicit_path =
+        name.ends_with(".bench") || name.contains('/') || name.contains(std::path::MAIN_SEPARATOR);
+    let n = if explicit_path {
+        read_bench_file(name)?
     } else if let Some(p) = profile(name) {
         generate(&p.scaled(scale), seed)
     } else if let Some(n) = fbist_netlist::embedded::by_name(name) {
         n
+    } else if std::path::Path::new(name).exists() {
+        read_bench_file(name)?
     } else {
         return Err(format!(
-            "no such file, profile or embedded circuit: {name:?}"
+            "circuit {name:?} not found in any namespace: not a .bench file path, \
+             not a built-in profile (see `fbist profiles`), and not an embedded circuit"
         ));
     };
     Ok(if n.is_combinational() {
@@ -144,6 +175,21 @@ fn load_circuit(args: &[String]) -> Result<Netlist, String> {
     } else {
         full_scan(&n).into_combinational()
     })
+}
+
+/// Reads and parses a `.bench` file, with errors that name the file
+/// namespace (a directory is a common cwd-shadowing accident and gets a
+/// direct message instead of a raw `EISDIR`).
+fn read_bench_file(name: &str) -> Result<Netlist, String> {
+    let path = std::path::Path::new(name);
+    if path.is_dir() {
+        return Err(format!(
+            "circuit path {name:?} is a directory, not a .bench file"
+        ));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading .bench file {name}: {e}"))?;
+    bench::parse_named(&text, name).map_err(|e| format!("parsing .bench file {name}: {e}"))
 }
 
 // ------------------------------------------------------------- subcommands
@@ -223,7 +269,9 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
     let tau: usize = parse_num(args, "--tau", 31)?;
-    let cfg = FlowConfig::new(tpg).with_tau(tau);
+    let cfg = FlowConfig::new(tpg)
+        .with_tau(tau)
+        .with_backend(parse_backend(args)?);
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
     let report = flow.run(&cfg);
     if let Some(path) = flag(args, "--csv") {
@@ -288,7 +336,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .map(|s| s.trim().parse().map_err(|_| format!("bad τ {s:?}")))
             .collect::<Result<_, _>>()?,
     };
-    let cfg = FlowConfig::new(tpg);
+    let cfg = FlowConfig::new(tpg).with_backend(parse_backend(args)?);
     let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
     println!(
         "{} [{}] — reseedings vs. test length (Figure 2)",
@@ -312,8 +360,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
     let tau: usize = parse_num(args, "--tau", 31)?;
+    let backend = parse_backend(args)?;
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
-    let report = flow.run(&FlowConfig::new(tpg).with_tau(tau));
+    let report = flow.run(&FlowConfig::new(tpg).with_tau(tau).with_backend(backend));
     let gatsby = Gatsby::new(&n).map_err(|e| e.to_string())?;
     let init = flow.builder().build(&FlowConfig::new(tpg).with_tau(tau));
     let gres = gatsby.run(

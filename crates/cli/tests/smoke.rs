@@ -74,10 +74,74 @@ fn unknown_subcommand_fails_with_usage() {
 }
 
 #[test]
-fn unknown_circuit_fails_cleanly() {
+fn unknown_circuit_error_names_every_namespace() {
     let (ok, _, stderr) = fbist(&["reseed", "c99999"]);
     assert!(!ok);
-    assert!(stderr.contains("no such"), "{stderr}");
+    for namespace in [".bench", "profile", "embedded"] {
+        assert!(stderr.contains(namespace), "missing {namespace}: {stderr}");
+    }
+}
+
+/// A file or directory in the cwd named like a built-in profile must not
+/// shadow the profile (it used to be read as a `.bench` file, yielding a
+/// parse failure or a confusing `EISDIR`).
+#[test]
+fn profile_name_shadowed_by_cwd_entries_still_resolves() {
+    let dir = std::env::temp_dir().join("fbist_cli_shadow");
+    std::fs::create_dir_all(dir.join("tiny64")).unwrap(); // directory shadow
+    std::fs::write(dir.join("mid256"), "not a bench file").unwrap(); // file shadow
+    std::fs::write(dir.join("c17"), "garbage").unwrap(); // embedded shadow
+    for name in ["tiny64", "mid256", "c17"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_fbist"))
+            .args(["stats", name])
+            .current_dir(&dir)
+            .output()
+            .expect("binary runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{name} shadowed: {stderr}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("faults:"),
+            "{name}: no stats output"
+        );
+    }
+}
+
+#[test]
+fn explicit_directory_path_gets_a_clear_error() {
+    let dir = std::env::temp_dir().join("fbist_cli_dirpath");
+    std::fs::create_dir_all(dir.join("subdir")).unwrap();
+    let path = dir.join("subdir");
+    let (ok, _, stderr) = fbist(&["stats", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("is a directory, not a .bench file"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn backend_flag_never_changes_results() {
+    let (ok_d, out_d, _) = fbist(&["reseed", "c17", "--tau", "7", "--backend", "dense"]);
+    let (ok_s, out_s, _) = fbist(&["reseed", "c17", "--tau", "7", "--backend", "sparse"]);
+    let (ok_a, out_a, _) = fbist(&["reseed", "c17", "--tau", "7", "--backend", "auto"]);
+    assert!(ok_d && ok_s && ok_a);
+    assert_eq!(out_d, out_s, "--backend must never change results");
+    assert_eq!(out_d, out_a, "--backend must never change results");
+}
+
+#[test]
+fn backend_flag_rejects_garbage_on_every_subcommand() {
+    // validated globally (like --jobs): even subcommands that never solve
+    // a cover must reject a typo instead of silently ignoring it
+    for args in [
+        ["reseed", "c17", "--backend", "turbo"],
+        ["stats", "c17", "--backend", "turbo"],
+        ["lp", "c17", "--backend", "spase"],
+    ] {
+        let (ok, _, stderr) = fbist(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains("unknown backend"), "{args:?}: {stderr}");
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Flow configuration.
 
 use fbist_atpg::AtpgConfig;
-use fbist_setcover::SolveConfig;
+use fbist_setcover::{Backend, SolveConfig};
 use fbist_tpg::{
     AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, WeightedTpg,
 };
@@ -151,6 +151,15 @@ impl FlowConfig {
     /// throughput knob: every job count computes the same results.
     pub fn with_jobs(mut self, jobs: usize) -> FlowConfig {
         self.jobs = jobs;
+        self
+    }
+
+    /// Selects the set-covering backend (dense scans vs. the sparse
+    /// incremental engine; [`Backend::Auto`] picks by matrix size). Like
+    /// `jobs`, purely a throughput knob: every backend computes
+    /// bit-identical covers, reduction logs and reports.
+    pub fn with_backend(mut self, backend: Backend) -> FlowConfig {
+        self.solve.backend = backend;
         self
     }
 }

@@ -1,7 +1,7 @@
 //! The end-to-end reseeding flow (paper Figure 1).
 
 use fbist_netlist::Netlist;
-use fbist_setcover::{reduce, solve_with, ReductionEvent};
+use fbist_setcover::{reduce_with, solve_with, ReductionEvent};
 use fbist_sim::SimError;
 use fbist_tpg::Triplet;
 
@@ -49,7 +49,7 @@ impl ReseedingFlow {
     /// build per τ).
     pub fn finish(&self, config: &FlowConfig, initial: &InitialReseeding) -> ReseedingReport {
         // ---- Matrix Reducer + solver (LINGO stand-in) -------------------
-        let reduction = reduce(&initial.matrix, &config.solve.reducer);
+        let reduction = reduce_with(&initial.matrix, &config.solve.reducer, config.solve.backend);
         let solution = solve_with(&initial.matrix, &config.solve, &reduction);
         let dominated_rows = reduction
             .log

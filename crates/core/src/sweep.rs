@@ -149,6 +149,26 @@ mod tests {
     }
 
     #[test]
+    fn curve_invariant_in_backend() {
+        use fbist_setcover::Backend;
+        let n = generate(&profile("tiny64").unwrap(), 4);
+        let taus = [0, 7, 31];
+        let dense = tradeoff_sweep(
+            &n,
+            &FlowConfig::new(TpgKind::Adder).with_backend(Backend::Dense),
+            &taus,
+        )
+        .unwrap();
+        let sparse = tradeoff_sweep(
+            &n,
+            &FlowConfig::new(TpgKind::Adder).with_backend(Backend::Sparse),
+            &taus,
+        )
+        .unwrap();
+        assert_eq!(dense, sparse, "backend must never change the curve");
+    }
+
+    #[test]
     fn curve_invariant_in_jobs() {
         let n = generate(&profile("tiny64").unwrap(), 4);
         let taus = [0, 3, 7, 15];

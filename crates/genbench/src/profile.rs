@@ -132,6 +132,11 @@ pub fn all_profiles() -> Vec<CircuitProfile> {
         // extras (not in the paper; handy small cases)
         ("tiny64", 10, 6, 0, 64),
         ("mid256", 16, 10, 8, 256),
+        // scaling stress profiles (not in the paper): a c7552-scale
+        // synthetic circuit and a doubled "xl" case, sized to push the
+        // Detection Matrix well past the sparse engine's auto-threshold
+        ("big3500", 200, 100, 0, 3500),
+        ("xl7000", 230, 120, 80, 7000),
     ]
 }
 
@@ -196,6 +201,20 @@ mod tests {
     fn combinational_profiles_have_no_ffs() {
         for name in ["c499", "c880", "c1355", "c1908", "c7552"] {
             assert_eq!(profile(name).unwrap().flip_flops, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn stress_profiles_registered_and_out_of_paper_suite() {
+        let big = profile("big3500").unwrap();
+        let xl = profile("xl7000").unwrap();
+        // c7552-scale and roughly double it
+        assert!(big.gates >= 3000 && xl.gates >= 2 * big.gates - 1000);
+        assert!(xl.scan_inputs() > big.scan_inputs());
+        // stress extras must not leak into the paper's Table-1 suite
+        for p in paper_suite() {
+            assert_ne!(p.name, "big3500");
+            assert_ne!(p.name, "xl7000");
         }
     }
 

@@ -1,0 +1,284 @@
+//! Sparse adjacency view of a Detection Matrix and the backend selector.
+//!
+//! Real Detection Matrices are sparse: a triplet's test set detects a
+//! small fraction of the random-resistant target faults, so a dense
+//! `BitVec` scan pays for mostly-zero words on every greedy pick,
+//! dominance probe and branch-and-bound node. [`SparseMatrix`] stores the
+//! same incidence structure as compressed adjacency — CSR (per-row column
+//! lists) plus CSC (per-column row lists), both index-ascending — and the
+//! sparse solver paths in [`greedy`](crate::greedy_cover),
+//! [`reduce`](crate::reduce) and [`ExactSolver`](crate::ExactSolver) walk
+//! only the 1-cells.
+//!
+//! **Equivalence guarantee:** every sparse path is written to reproduce
+//! its dense counterpart *bit for bit* — same cover rows in the same
+//! order, same reduction event log, same branch-and-bound node count.
+//! [`Backend`] is therefore purely a throughput knob, exactly like the
+//! workspace's `--jobs` contract, and `Backend::Auto` may flip between
+//! implementations on instance size without changing any result. The
+//! root-level `sparse_dense_equivalence` suite pins this for every
+//! genbench profile × TPG family.
+
+use fbist_bits::BitMatrix;
+
+use crate::matrix::DetectionMatrix;
+
+/// Which covering implementation services a request.
+///
+/// `Auto` (the default) picks the sparse engine once the instance has at
+/// least [`Backend::AUTO_SPARSE_CELLS`] cells — below that the dense
+/// word-parallel scans win on constant factors, above it the incremental
+/// sparse algorithms win asymptotically. Forcing `Dense` or `Sparse` is
+/// useful for benchmarking and for the differential tests; it never
+/// changes a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Size-based automatic choice (the default).
+    #[default]
+    Auto,
+    /// Always use the dense `BitVec` scans.
+    Dense,
+    /// Always use the sparse incremental engine.
+    Sparse,
+}
+
+impl Backend {
+    /// Cell-count threshold (`rows × cols`) at which `Auto` switches from
+    /// the dense scans to the sparse incremental engine.
+    pub const AUTO_SPARSE_CELLS: usize = 1 << 15;
+
+    /// `true` if this backend uses the sparse engine for a `rows × cols`
+    /// instance.
+    pub fn use_sparse(self, rows: usize, cols: usize) -> bool {
+        match self {
+            Backend::Auto => rows.saturating_mul(cols) >= Backend::AUTO_SPARSE_CELLS,
+            Backend::Dense => false,
+            Backend::Sparse => true,
+        }
+    }
+
+    /// Parses a backend name as accepted by the CLI (`auto`, `dense`,
+    /// `sparse`).
+    pub fn parse(name: &str) -> Result<Backend, String> {
+        match name {
+            "auto" => Ok(Backend::Auto),
+            "dense" => Ok(Backend::Dense),
+            "sparse" => Ok(Backend::Sparse),
+            other => Err(format!(
+                "unknown backend {other:?} (expected auto, dense or sparse)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Auto => "auto",
+            Backend::Dense => "dense",
+            Backend::Sparse => "sparse",
+        })
+    }
+}
+
+/// Compressed row- and column-adjacency of a Detection Matrix.
+///
+/// Both directions are stored (CSR for "which faults does triplet `r`
+/// detect", CSC for "which triplets detect fault `c`"), with index lists
+/// in ascending order — the sparse solvers rely on that ordering to
+/// reproduce the dense tie-breaking exactly. Indices are `u32` to halve
+/// the memory traffic; matrices beyond `u32::MAX` rows or columns are far
+/// outside anything the flow produces and are rejected.
+///
+/// # Example
+///
+/// ```
+/// use fbist_setcover::{DetectionMatrix, SparseMatrix};
+/// use fbist_bits::BitVec;
+///
+/// let rows: Vec<BitVec> = ["101", "011"].iter().map(|s| s.parse().unwrap()).collect();
+/// let m = DetectionMatrix::from_rows(3, rows);
+/// let sp = SparseMatrix::from_dense(&m);
+/// assert_eq!(sp.nnz(), 4);
+/// assert_eq!(sp.row_cols(0), &[0, 2]);
+/// assert_eq!(sp.col_rows(1), &[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    col_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl SparseMatrix {
+    /// Builds the sparse view of a [`DetectionMatrix`]. One pass over the
+    /// packed words for CSR, one counting-sort pass for CSC.
+    pub fn from_dense(matrix: &DetectionMatrix) -> SparseMatrix {
+        SparseMatrix::from_bit_matrix(matrix.row_major())
+    }
+
+    /// Builds the sparse view of a raw `rows × cols` [`BitMatrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u32::MAX`.
+    pub fn from_bit_matrix(m: &BitMatrix) -> SparseMatrix {
+        let (rows, cols) = (m.rows(), m.cols());
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions exceed the sparse index width"
+        );
+        let nnz = m.count_ones();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut col_counts = vec![0usize; cols];
+        row_ptr.push(0);
+        for r in 0..rows {
+            m.for_each_col_of_row(r, |c| {
+                row_idx.push(c as u32);
+                col_counts[c] += 1;
+            });
+            row_ptr.push(row_idx.len());
+        }
+        // CSC by counting sort: scanning rows in ascending order keeps each
+        // column's row list ascending with no comparison sort.
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        col_ptr.push(0);
+        for c in 0..cols {
+            col_ptr.push(col_ptr[c] + col_counts[c]);
+        }
+        let mut cursor: Vec<usize> = col_ptr[..cols].to_vec();
+        let mut col_idx = vec![0u32; nnz];
+        for r in 0..rows {
+            for &c in &row_idx[row_ptr[r]..row_ptr[r + 1]] {
+                col_idx[cursor[c as usize]] = r as u32;
+                cursor[c as usize] += 1;
+            }
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            row_idx,
+            col_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of rows (triplets).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (faults).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of 1-cells.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The ascending column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.row_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// The ascending row indices covering column `c`.
+    #[inline]
+    pub fn col_rows(&self, c: usize) -> &[u32] {
+        &self.col_idx[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Number of columns row `r` covers.
+    #[inline]
+    pub fn row_weight(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Number of rows covering column `c`.
+    #[inline]
+    pub fn col_weight(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Fraction of 1-cells.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{detection_shaped, random_instance};
+
+    #[test]
+    fn adjacency_round_trips_the_dense_matrix() {
+        let m = random_instance(23, 67, 0.13, 9);
+        let sp = SparseMatrix::from_dense(&m);
+        assert_eq!(sp.rows(), m.rows());
+        assert_eq!(sp.cols(), m.cols());
+        for r in 0..m.rows() {
+            let cols: Vec<usize> = sp.row_cols(r).iter().map(|&c| c as usize).collect();
+            assert_eq!(cols, m.row_major().cols_of_row(r), "row {r}");
+            assert_eq!(sp.row_weight(r), m.row_weight(r));
+        }
+        for c in 0..m.cols() {
+            let rows: Vec<usize> = sp.col_rows(c).iter().map(|&r| r as usize).collect();
+            assert_eq!(rows, m.covering_rows(c), "col {c}");
+            assert_eq!(sp.col_weight(c), m.col_weight(c));
+        }
+        assert_eq!(sp.nnz(), m.row_major().count_ones());
+        assert!((sp.density() - m.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_lists_are_ascending() {
+        let m = detection_shaped(40, 150, 5);
+        let sp = SparseMatrix::from_dense(&m);
+        for r in 0..sp.rows() {
+            assert!(sp.row_cols(r).windows(2).all(|w| w[0] < w[1]), "row {r}");
+        }
+        for c in 0..sp.cols() {
+            assert!(sp.col_rows(c).windows(2).all(|w| w[0] < w[1]), "col {c}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DetectionMatrix::from_rows(0, vec![]);
+        let sp = SparseMatrix::from_dense(&m);
+        assert_eq!(sp.nnz(), 0);
+        assert_eq!(sp.density(), 0.0);
+    }
+
+    #[test]
+    fn auto_backend_thresholds_on_cells() {
+        assert!(!Backend::Auto.use_sparse(10, 10));
+        assert!(Backend::Auto.use_sparse(1000, 1000));
+        assert!(!Backend::Dense.use_sparse(1000, 1000));
+        assert!(Backend::Sparse.use_sparse(1, 1));
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [Backend::Auto, Backend::Dense, Backend::Sparse] {
+            assert_eq!(Backend::parse(&b.to_string()).unwrap(), b);
+        }
+        assert!(Backend::parse("bogus").is_err());
+    }
+}

@@ -73,14 +73,25 @@ impl Misr {
         }
     }
 
-    /// Creates a MISR with an explicit feedback tap mask.
+    /// Creates a MISR with an explicit feedback tap mask. The mask must
+    /// have at least one set bit: with no feedback taps the register
+    /// degenerates into a pure shift register, so every absorbed response
+    /// bit falls off the MSB end after `width` cycles and the "signature"
+    /// depends on only the last `width` response words — silently
+    /// destroying the error coverage the compactor exists for.
     ///
     /// # Panics
     ///
-    /// Panics if widths differ or `width < 2`.
+    /// Panics if widths differ, `width < 2`, or `taps` is all-zero.
     pub fn with_taps(width: usize, taps: BitVec) -> Misr {
         assert!(width >= 2, "MISR width must be at least 2");
         assert_eq!(taps.width(), width, "tap mask width mismatch");
+        assert!(
+            !taps.is_zero(),
+            "degenerate all-zero tap mask: a MISR with no feedback taps \
+             is a pure shift register that forgets every response older \
+             than `width` cycles"
+        );
         Misr {
             state: BitVec::zeros(width),
             taps,
@@ -257,5 +268,21 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_width_rejected() {
         let _ = Misr::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero tap mask")]
+    fn zero_tap_mask_rejected() {
+        let _ = Misr::with_taps(8, BitVec::zeros(8));
+    }
+
+    #[test]
+    fn explicit_taps_still_accepted() {
+        let mut taps = BitVec::zeros(8);
+        taps.set(0, true);
+        taps.set(7, true);
+        let mut m = Misr::with_taps(8, taps);
+        m.absorb(&BitVec::from_u64(8, 0x5A));
+        assert!(!m.signature().is_zero());
     }
 }

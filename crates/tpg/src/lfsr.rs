@@ -121,14 +121,24 @@ pub struct Lfsr {
 
 impl Lfsr {
     /// Creates an LFSR with an explicit tap mask (bit `i` = coefficient of
-    /// `x^i`).
+    /// `x^i`). The mask must have at least one set bit: with no feedback
+    /// taps the register degenerates into a pure shift register that
+    /// drains to the all-zero state within `width` steps, silently
+    /// destroying the pattern sequence (and, on the MISR side, the
+    /// signature).
     ///
     /// # Panics
     ///
-    /// Panics if `taps.width() != width` or `width < 2`.
+    /// Panics if `taps.width() != width`, `width < 2`, or `taps` is
+    /// all-zero.
     pub fn new(width: usize, taps: BitVec, kind: LfsrKind) -> Lfsr {
         assert!(width >= 2, "LFSR width must be at least 2");
         assert_eq!(taps.width(), width, "tap mask width mismatch");
+        assert!(
+            !taps.is_zero(),
+            "degenerate all-zero tap mask: an LFSR with no feedback taps \
+             is a pure shift register that drains to zero"
+        );
         Lfsr {
             width,
             taps,
@@ -414,6 +424,30 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn width_one_rejected() {
         let _ = Lfsr::maximal(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero tap mask")]
+    fn zero_tap_mask_rejected() {
+        let _ = Lfsr::new(8, BitVec::zeros(8), LfsrKind::Fibonacci);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero tap mask")]
+    fn zero_tap_mask_rejected_for_galois() {
+        let _ = Lfsr::new(8, BitVec::zeros(8), LfsrKind::Galois);
+    }
+
+    #[test]
+    fn standard_bank_never_degenerates() {
+        // the rotating bank constructor forces the x^0 coefficient, so no
+        // width/count combination can reach the all-zero-taps panic
+        for width in [2usize, 3, 8, 16, 33, 80] {
+            for count in [1usize, 4, 8] {
+                let mp = MultiPolyLfsr::standard_bank(width, count);
+                assert_eq!(mp.bank_count(), count);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Differential suite pinning the sparse covering engine to the dense one.
+//!
+//! For **every** genbench profile (scaled to a small, fast gate budget —
+//! the covering machinery is identical at every size) and for a TPG from
+//! each family (accumulator-based `add`, LFSR-based `lfsr`), the sparse
+//! backend must produce
+//!
+//! 1. an identical greedy cover (same rows in the same order),
+//! 2. an identical reduction anatomy (essential rows, active sets, and the
+//!    event log entry for entry),
+//! 3. an identical exact search (best cover, node count, optimality flag),
+//!    and
+//! 4. an identical end-to-end [`ReseedingReport`]
+//!
+//! compared to the dense backend on the same Detection Matrix. This is the
+//! workspace's backend contract, the exact analogue of the `--jobs`
+//! determinism contract next door in `parallel_equivalence.rs`: a backend
+//! may only change wall-clock time, never a single bit of any artefact.
+
+use fbist_genbench::{all_profiles, generate, CircuitProfile};
+use fbist_netlist::Netlist;
+use fbist_setcover::{greedy_cover_with, reduce_with, ExactSolver, ReducerConfig};
+use set_covering_reseeding::prelude::*;
+
+/// Gate budget the profiles are scaled down to — includes the new
+/// `big3500`/`xl7000` stress profiles, whose wide interfaces survive
+/// scaling and exercise the widest TPG registers in the suite.
+const GATE_BUDGET: f64 = 70.0;
+
+const TAU: usize = 7;
+
+fn small(p: &CircuitProfile) -> CircuitProfile {
+    let factor = (GATE_BUDGET / p.gates as f64).min(1.0);
+    p.scaled(factor)
+}
+
+fn circuit(p: &CircuitProfile) -> Netlist {
+    let n = generate(&small(p), 1);
+    if n.is_combinational() {
+        n
+    } else {
+        full_scan(&n).into_combinational()
+    }
+}
+
+fn assert_equivalent(netlist: &Netlist, tpg: TpgKind, label: &str) {
+    let base = FlowConfig::new(tpg).with_tau(TAU);
+    let flow = ReseedingFlow::new(netlist).expect("combinational circuit");
+    let init = flow.builder().build(&base);
+
+    // 1. identical greedy cover on the raw Detection Matrix
+    assert_eq!(
+        greedy_cover_with(&init.matrix, Backend::Dense),
+        greedy_cover_with(&init.matrix, Backend::Sparse),
+        "{label}: greedy covers differ between backends"
+    );
+
+    // 2. identical reduction anatomy (incl. the full event log)
+    for cfg in [ReducerConfig::default(), ReducerConfig::all()] {
+        assert_eq!(
+            reduce_with(&init.matrix, &cfg, Backend::Dense),
+            reduce_with(&init.matrix, &cfg, Backend::Sparse),
+            "{label}: reduction anatomy differs between backends ({cfg:?})"
+        );
+    }
+
+    // 3. identical exact search on the residual matrix, node for node
+    let red = reduce_with(&init.matrix, &ReducerConfig::default(), Backend::Dense);
+    if !red.active_cols.is_empty() {
+        let (sub, _) = init.matrix.submatrix(&red.active_rows, &red.active_cols);
+        assert_eq!(
+            ExactSolver::new().with_backend(Backend::Dense).solve(&sub),
+            ExactSolver::new().with_backend(Backend::Sparse).solve(&sub),
+            "{label}: exact searches differ between backends"
+        );
+    }
+
+    // 4. identical final report, end to end
+    let dense = flow.run(&base.clone().with_backend(Backend::Dense));
+    let sparse = flow.run(&base.clone().with_backend(Backend::Sparse));
+    assert_eq!(dense, sparse, "{label}: final report differs");
+    assert!(dense.covers_all_target_faults(), "{label}: must cover F");
+}
+
+#[test]
+fn every_profile_is_backend_invariant_with_accumulator_tpg() {
+    for p in all_profiles() {
+        let n = circuit(&p);
+        assert_equivalent(&n, TpgKind::Adder, &p.name);
+    }
+}
+
+#[test]
+fn every_profile_is_backend_invariant_with_lfsr_tpg() {
+    for p in all_profiles() {
+        let n = circuit(&p);
+        assert_equivalent(&n, TpgKind::Lfsr, &p.name);
+    }
+}
+
+#[test]
+fn auto_backend_matches_forced_backends_end_to_end() {
+    // Auto may pick either implementation per matrix; the report must be
+    // the one both implementations agree on.
+    let p = genbench_profile("mid256").unwrap();
+    let n = circuit(&p);
+    let flow = ReseedingFlow::new(&n).unwrap();
+    let base = FlowConfig::new(TpgKind::Adder).with_tau(TAU);
+    let auto = flow.run(&base.clone().with_backend(Backend::Auto));
+    let dense = flow.run(&base.clone().with_backend(Backend::Dense));
+    assert_eq!(auto, dense, "auto must agree with the forced backends");
+}
