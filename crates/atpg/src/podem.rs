@@ -12,7 +12,7 @@
 
 use fbist_bits::{Cube, Trit};
 use fbist_fault::{Fault, FaultSite};
-use fbist_netlist::{eval_trit, GateId, GateKind, Netlist};
+use fbist_netlist::{CsrAdjacency, GateId, GateKind, Netlist};
 use fbist_sim::SimError;
 
 use crate::testability::Testability;
@@ -87,26 +87,202 @@ pub struct PodemStats {
 pub struct Podem {
     netlist: Netlist,
     order: Vec<GateId>,
-    fanouts: Vec<Vec<GateId>>,
+    rank: Vec<u32>,
+    /// Flat fanout/fanin adjacency and per-gate kinds: the implication
+    /// sweep's whole working set in contiguous arrays, instead of
+    /// pointer-chasing through `Gate` structs (heap `Vec` + name `String`
+    /// per gate).
+    fo: CsrAdjacency,
+    fi: CsrAdjacency,
+    kinds: Vec<GateKind>,
     testability: Testability,
     config: PodemConfig,
+    is_po: Vec<bool>,
+}
+
+/// Two-bit Kleene encoding of a three-valued net value: bit 0 = "can be
+/// 0", bit 1 = "can be 1". `Zero = 0b01`, `One = 0b10`, `X = 0b11`
+/// (`0b00` is never constructed).
+///
+/// The encoding exists for one reason: it makes the three-valued gate
+/// evaluation in the implication sweep **branchless** ([`eval_tv`] folds
+/// plain AND/OR words over the fanins), where the [`Trit`] `match`
+/// version costs an unpredictable branch per fanin read. The
+/// `tv_eval_matches_eval_trit` test pins the two evaluations against each
+/// other for every gate kind and value combination.
+type Tv = u8;
+const TV_ZERO: Tv = 0b01;
+const TV_ONE: Tv = 0b10;
+const TV_X: Tv = 0b11;
+
+#[inline]
+fn tv_of(t: Trit) -> Tv {
+    match t {
+        Trit::Zero => TV_ZERO,
+        Trit::One => TV_ONE,
+        Trit::X => TV_X,
+    }
+}
+
+#[inline]
+fn tv_from_bool(b: bool) -> Tv {
+    if b {
+        TV_ONE
+    } else {
+        TV_ZERO
+    }
+}
+
+/// Kleene NOT: swap the can-be-0 and can-be-1 bits.
+#[inline]
+fn tv_not(v: Tv) -> Tv {
+    ((v & 1) << 1) | (v >> 1)
+}
+
+/// Branchless three-valued gate evaluation over fanin *positions*
+/// (`read(p)` returns the encoded value of fanin `p`). Equals
+/// [`eval_trit`](fbist_netlist::eval_trit) under the encoding for every
+/// gate kind.
+///
+/// AND: can-be-0 = OR of fanin can-be-0 bits, can-be-1 = AND of can-be-1
+/// bits — one `|=` and one `&=` per fanin, no branches. OR is the dual;
+/// XOR composes pairwise with the 4-term product rule.
+#[inline]
+fn eval_tv(kind: GateKind, arity: usize, read: impl Fn(usize) -> Tv) -> Tv {
+    #[inline]
+    fn xor2(a: Tv, b: Tv) -> Tv {
+        // c0 = a0 b0 | a1 b1 ; c1 = a0 b1 | a1 b0
+        (((a & b) | ((a >> 1) & (b >> 1))) & 1) | ((((a & (b >> 1)) | ((a >> 1) & b)) & 1) << 1)
+    }
+    match kind {
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let mut or_acc: Tv = 0;
+            let mut and_acc: Tv = 0b11;
+            for p in 0..arity {
+                let v = read(p);
+                or_acc |= v;
+                and_acc &= v;
+            }
+            match kind {
+                GateKind::And => (or_acc & 0b01) | (and_acc & 0b10),
+                GateKind::Nand => tv_not((or_acc & 0b01) | (and_acc & 0b10)),
+                GateKind::Or => (or_acc & 0b10) | (and_acc & 0b01),
+                _ => tv_not((or_acc & 0b10) | (and_acc & 0b01)),
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut r = TV_ZERO;
+            for p in 0..arity {
+                r = xor2(r, read(p));
+            }
+            if kind == GateKind::Xnor {
+                tv_not(r)
+            } else {
+                r
+            }
+        }
+        GateKind::Not => tv_not(read(0)),
+        GateKind::Buff => read(0),
+        GateKind::Const0 => TV_ZERO,
+        GateKind::Const1 => TV_ONE,
+        GateKind::Input | GateKind::Dff => {
+            panic!("{kind} is a source; its value is assigned, not evaluated")
+        }
+    }
 }
 
 struct Planes {
-    good: Vec<Trit>,
-    faulty: Vec<Trit>,
+    good: Vec<Tv>,
+    faulty: Vec<Tv>,
 }
 
 impl Planes {
-    /// `true` if the net provably carries a fault effect (D or D̄).
+    /// `true` if the net provably carries a fault effect (D or D̄): both
+    /// planes specified and different — exactly when `g ^ f == 0b11`.
+    #[inline]
     fn has_d(&self, net: GateId) -> bool {
-        let (g, f) = (self.good[net.index()], self.faulty[net.index()]);
-        g.is_specified() && f.is_specified() && g != f
+        (self.good[net.index()] ^ self.faulty[net.index()]) == 0b11
     }
 
     /// `true` if the net could still change (either plane unresolved).
+    #[inline]
     fn fluid(&self, net: GateId) -> bool {
-        self.good[net.index()] == Trit::X || self.faulty[net.index()] == Trit::X
+        self.good[net.index()] == TV_X || self.faulty[net.index()] == TV_X
+    }
+}
+
+/// Per-search scratch: the fault's fanout cone and reusable buffers, so
+/// the decision loop allocates nothing per implication.
+///
+/// The *cone* is the fault origin plus its transitive fanouts — the only
+/// nets whose faulty-plane value can ever differ from the good plane.
+/// Outside it the faulty plane is a verbatim copy of the good plane, and
+/// the D-frontier can only ever contain cone gates, so both the two-plane
+/// simulation and the frontier scan are restricted to it (values and
+/// decisions are bit-identical to the full-circuit sweep).
+struct Search {
+    in_cone: Vec<bool>,
+    /// Cone gate indices in ascending index order (the scan order the
+    /// full-netlist D-frontier iteration used).
+    cone: Vec<u32>,
+    seen: Vec<u32>,
+    epoch: u32,
+    /// Event bitset over topological ranks for incremental resimulation
+    /// (empty between calls; see [`Podem::resimulate`]).
+    pending: Vec<u64>,
+    /// `is_d[i]` — net `i` currently carries a fault effect (D or D̄).
+    /// Maintained by the resimulation so the D-frontier scan can probe
+    /// only the fanouts of D nets instead of the whole cone.
+    is_d: Vec<bool>,
+    /// Nets that carried a D at some point (lazy-deleted: filter through
+    /// `is_d` before use). Bounded by the cone size.
+    d_list: Vec<u32>,
+    in_d_list: Vec<bool>,
+    /// Reusable candidate buffer for the frontier scan.
+    cand: Vec<u32>,
+}
+
+impl Search {
+    fn for_fault(podem: &Podem, fault: Fault) -> Search {
+        let n = podem.netlist.gate_count();
+        let origin = match fault.site() {
+            FaultSite::GateOutput(g) => g,
+            FaultSite::GateInput { gate, .. } => gate,
+        };
+        let mut in_cone = vec![false; n];
+        let mut stack = vec![origin];
+        in_cone[origin.index()] = true;
+        while let Some(g) = stack.pop() {
+            for &fo in podem.fanouts_of(g.index()) {
+                if !in_cone[fo.index()] {
+                    in_cone[fo.index()] = true;
+                    stack.push(fo);
+                }
+            }
+        }
+        let cone: Vec<u32> = (0..n as u32).filter(|&i| in_cone[i as usize]).collect();
+        Search {
+            in_cone,
+            cone,
+            seen: vec![0; n],
+            epoch: 0,
+            pending: vec![0; n.div_ceil(64)],
+            is_d: vec![false; n],
+            d_list: Vec::new(),
+            in_d_list: vec![false; n],
+            cand: Vec::new(),
+        }
+    }
+
+    /// Records net `i`'s current D status after a plane update.
+    #[inline]
+    fn update_d(&mut self, i: usize, good: Tv, faulty: Tv) {
+        let d = (good ^ faulty) == 0b11;
+        self.is_d[i] = d;
+        if d && !self.in_d_list[i] {
+            self.in_d_list[i] = true;
+            self.d_list.push(i as u32);
+        }
     }
 }
 
@@ -134,13 +310,37 @@ impl Podem {
             });
         }
         let order = netlist.levelize()?;
+        let mut rank = vec![0u32; netlist.gate_count()];
+        for (i, &g) in order.iter().enumerate() {
+            rank[g.index()] = i as u32;
+        }
+        let mut is_po = vec![false; netlist.gate_count()];
+        for &o in netlist.outputs() {
+            is_po[o.index()] = true;
+        }
         Ok(Podem {
             netlist: netlist.clone(),
             order,
-            fanouts: netlist.fanouts(),
+            rank,
+            fo: netlist.fanouts_csr(),
+            fi: netlist.fanins_csr(),
+            kinds: netlist.kinds(),
             testability: Testability::analyze(netlist),
             config,
+            is_po,
         })
+    }
+
+    /// Gate `i`'s fanins (CSR slice).
+    #[inline]
+    fn fanins_of(&self, i: usize) -> &[GateId] {
+        self.fi.of(i)
+    }
+
+    /// Gate `i`'s fanouts (CSR slice).
+    #[inline]
+    fn fanouts_of(&self, i: usize) -> &[GateId] {
+        self.fo.of(i)
     }
 
     /// The bound netlist.
@@ -156,13 +356,24 @@ impl Podem {
     /// Generates a test and reports search statistics.
     pub fn generate_with_stats(&self, fault: Fault) -> (PodemOutcome, PodemStats) {
         let npis = self.netlist.inputs().len();
+        let n = self.netlist.gate_count();
         let mut pi = vec![Trit::X; npis];
         // decision stack: (pi position, current value, already flipped)
         let mut stack: Vec<(usize, bool, bool)> = Vec::new();
         let mut stats = PodemStats::default();
+        let mut search = Search::for_fault(self, fault);
+        let mut planes = Planes {
+            good: vec![TV_X; n],
+            faulty: vec![TV_X; n],
+        };
 
+        // One full two-plane sweep establishes the all-X baseline; every
+        // later PI change is propagated incrementally (identical values —
+        // the circuit is acyclic, so event-driven re-evaluation in rank
+        // order reaches the same fixpoint as a full sweep).
+        self.simulate(&pi, fault, &mut search, &mut planes);
+        let mut changed: Vec<usize> = Vec::new();
         loop {
-            let planes = self.simulate(&pi, fault);
             stats.implications += 1;
             if self.netlist.outputs().iter().any(|&o| planes.has_d(o)) {
                 let mut cube = Cube::all_x(npis);
@@ -172,16 +383,20 @@ impl Podem {
                 return (PodemOutcome::Test(cube), stats);
             }
 
-            let objective = self.objective(&planes, fault);
+            let objective = self.objective(&planes, fault, &mut search);
             let next = objective.and_then(|(net, val)| self.backtrace(net, val, &planes));
             match next {
                 Some((pos, val)) => {
                     stats.decisions += 1;
                     pi[pos] = Trit::from_bool(val);
                     stack.push((pos, val, false));
+                    changed.clear();
+                    changed.push(pos);
+                    self.resimulate(&pi, &changed, fault, &mut search, &mut planes);
                 }
                 None => {
                     // conflict → backtrack
+                    changed.clear();
                     loop {
                         match stack.pop() {
                             Some((pos, val, false)) => {
@@ -191,14 +406,109 @@ impl Podem {
                                 }
                                 pi[pos] = Trit::from_bool(!val);
                                 stack.push((pos, !val, true));
+                                changed.push(pos);
                                 break;
                             }
                             Some((pos, _, true)) => {
                                 pi[pos] = Trit::X;
+                                changed.push(pos);
                             }
                             None => return (PodemOutcome::Untestable, stats),
                         }
                     }
+                    self.resimulate(&pi, &changed, fault, &mut search, &mut planes);
+                }
+            }
+        }
+    }
+
+    /// Incrementally re-propagates the planes after the PIs at `changed`
+    /// were reassigned: event-driven re-evaluation through the pending
+    /// rank bitset, exactly like the packed fault simulator's sweep. Only
+    /// the region whose value actually changes is revisited.
+    fn resimulate(
+        &self,
+        pi: &[Trit],
+        changed: &[usize],
+        fault: Fault,
+        s: &mut Search,
+        planes: &mut Planes,
+    ) {
+        let stuck = tv_from_bool(fault.stuck_value());
+        let inputs = self.netlist.inputs();
+        let mut min_w = usize::MAX;
+        let mut max_w = 0usize;
+        for &pos in changed {
+            let id = inputs[pos];
+            let i = id.index();
+            let v = tv_of(pi[pos]);
+            // the faulty plane of a stuck primary input never moves
+            let fv = if fault.site() == FaultSite::GateOutput(id) {
+                stuck
+            } else {
+                v
+            };
+            if planes.good[i] == v && planes.faulty[i] == fv {
+                continue;
+            }
+            planes.good[i] = v;
+            planes.faulty[i] = fv;
+            if s.in_cone[i] {
+                s.update_d(i, v, fv);
+            }
+            for &fo in self.fanouts_of(i) {
+                let r = self.rank[fo.index()] as usize;
+                s.pending[r >> 6] |= 1u64 << (r & 63);
+                min_w = min_w.min(r >> 6);
+                max_w = max_w.max(r >> 6);
+            }
+        }
+
+        let mut w = min_w;
+        while w <= max_w {
+            let word = s.pending[w];
+            if word == 0 {
+                w += 1;
+                continue;
+            }
+            let b = word.trailing_zeros() as usize;
+            s.pending[w] = word & (word - 1);
+            let id = self.order[(w << 6) | b];
+            let idx = id.index();
+            let kind = self.kinds[idx];
+            let fanin = self.fanins_of(idx);
+            let ng = eval_tv(kind, fanin.len(), |p| planes.good[fanin[p].index()]);
+            let nf = if !s.in_cone[idx] {
+                ng
+            } else if fault.site() == FaultSite::GateOutput(id) {
+                stuck
+            } else {
+                match fault.site() {
+                    // the branch-faulted gate reads one pin forced to the
+                    // stuck value
+                    FaultSite::GateInput { gate, pin } if gate == id => {
+                        let pin = pin as usize;
+                        eval_tv(kind, fanin.len(), |p| {
+                            if p == pin {
+                                stuck
+                            } else {
+                                planes.faulty[fanin[p].index()]
+                            }
+                        })
+                    }
+                    _ => eval_tv(kind, fanin.len(), |p| planes.faulty[fanin[p].index()]),
+                }
+            };
+            if ng != planes.good[idx] || nf != planes.faulty[idx] {
+                planes.good[idx] = ng;
+                planes.faulty[idx] = nf;
+                if s.in_cone[idx] {
+                    s.update_d(idx, ng, nf);
+                }
+                for &fo in self.fanouts_of(idx) {
+                    let r = self.rank[fo.index()] as usize;
+                    s.pending[r >> 6] |= 1u64 << (r & 63);
+                    max_w = max_w.max(r >> 6);
                 }
             }
         }
@@ -206,51 +516,69 @@ impl Podem {
 
     /// Two-plane three-valued simulation of the current PI assignment with
     /// the fault injected in the faulty plane.
-    fn simulate(&self, pi: &[Trit], fault: Fault) -> Planes {
-        let n = self.netlist.gate_count();
-        let mut good = vec![Trit::X; n];
-        let mut faulty = vec![Trit::X; n];
-        let stuck = Trit::from_bool(fault.stuck_value());
+    ///
+    /// The faulty plane is only *evaluated* inside the fault cone; outside
+    /// it every net's faulty value equals its good value by construction,
+    /// so it is copied instead — same values, half the gate evaluations.
+    fn simulate(&self, pi: &[Trit], fault: Fault, search: &mut Search, planes: &mut Planes) {
+        let good = &mut planes.good;
+        let faulty = &mut planes.faulty;
+        let stuck = tv_from_bool(fault.stuck_value());
 
         for (k, &p) in self.netlist.inputs().iter().enumerate() {
-            good[p.index()] = pi[k];
-            faulty[p.index()] = pi[k];
+            good[p.index()] = tv_of(pi[k]);
+            faulty[p.index()] = tv_of(pi[k]);
         }
         if let FaultSite::GateOutput(g) = fault.site() {
             if self.netlist.gate(g).kind() == GateKind::Input {
                 faulty[g.index()] = stuck;
             }
         }
-        let mut buf: Vec<Trit> = Vec::with_capacity(8);
         for &id in &self.order {
-            let g = self.netlist.gate(id);
-            let kind = g.kind();
+            let idx = id.index();
+            let kind = self.kinds[idx];
             if kind == GateKind::Input {
                 continue;
             }
-            buf.clear();
-            buf.extend(g.fanin().iter().map(|f| good[f.index()]));
-            good[id.index()] = eval_trit(kind, &buf);
+            let fanin = self.fanins_of(idx);
+            good[idx] = eval_tv(kind, fanin.len(), |p| good[fanin[p].index()]);
 
-            if fault.site() == FaultSite::GateOutput(id) {
-                faulty[id.index()] = stuck;
+            if !search.in_cone[idx] {
+                faulty[idx] = good[idx];
                 continue;
             }
-            buf.clear();
-            buf.extend(g.fanin().iter().map(|f| faulty[f.index()]));
-            if let FaultSite::GateInput { gate, pin } = fault.site() {
-                if gate == id {
-                    buf[pin as usize] = stuck;
-                }
+            if fault.site() == FaultSite::GateOutput(id) {
+                faulty[idx] = stuck;
+                continue;
             }
-            faulty[id.index()] = eval_trit(kind, &buf);
+            faulty[idx] = match fault.site() {
+                FaultSite::GateInput { gate, pin } if gate == id => {
+                    let pin = pin as usize;
+                    eval_tv(kind, fanin.len(), |p| {
+                        if p == pin {
+                            stuck
+                        } else {
+                            faulty[fanin[p].index()]
+                        }
+                    })
+                }
+                _ => eval_tv(kind, fanin.len(), |p| faulty[fanin[p].index()]),
+            };
         }
-        Planes { good, faulty }
+        for ci in 0..search.cone.len() {
+            let i = search.cone[ci] as usize;
+            search.update_d(i, good[i], faulty[i]);
+        }
     }
 
     /// Picks the next objective `(net, value)`; `None` signals a conflict
     /// (fault unexcitable or unpropagatable under the current assignment).
-    fn objective(&self, planes: &Planes, fault: Fault) -> Option<(GateId, bool)> {
+    fn objective(
+        &self,
+        planes: &Planes,
+        fault: Fault,
+        search: &mut Search,
+    ) -> Option<(GateId, bool)> {
         let stuck = fault.stuck_value();
         // 1. Excitation: the good value at the fault site must be !stuck.
         let site_net = match fault.site() {
@@ -258,18 +586,50 @@ impl Podem {
             FaultSite::GateInput { gate, pin } => self.netlist.gate(gate).fanin()[pin as usize],
         };
         match planes.good[site_net.index()] {
-            Trit::X => return Some((site_net, !stuck)),
-            v if v == Trit::from_bool(stuck) => return None,
+            TV_X => return Some((site_net, !stuck)),
+            v if v == tv_from_bool(stuck) => return None,
             _ => {}
         }
 
-        // 2. Propagation: choose a D-frontier gate with an X-path to a PO.
-        let frontier = self.d_frontier(planes, fault);
-        let frontier: Vec<GateId> = frontier
-            .into_iter()
-            .filter(|&g| self.x_path_to_po(g, planes))
-            .collect();
-        let &gate = frontier.iter().min_by_key(|&&g| self.testability.co(g))?;
+        // 2. Propagation: the lowest-observability D-frontier gate with an
+        //    X-path to a PO. A frontier gate necessarily reads a net that
+        //    currently carries D (or is the branch-faulted gate itself),
+        //    so only the fanouts of live D nets are probed. They are
+        //    sorted into ascending index order — the order the
+        //    full-netlist scan used — and the (expensive) X-path check
+        //    runs only when a gate would beat the current best; ties keep
+        //    the earlier gate, so this picks exactly the gate the
+        //    filter-then-min scan picked.
+        search.cand.clear();
+        for li in 0..search.d_list.len() {
+            let net = search.d_list[li] as usize;
+            if !search.is_d[net] {
+                continue;
+            }
+            for &fo in self.fanouts_of(net) {
+                search.cand.push(fo.index() as u32);
+            }
+        }
+        if let FaultSite::GateInput { gate, .. } = fault.site() {
+            search.cand.push(gate.index() as u32);
+        }
+        search.cand.sort_unstable();
+        search.cand.dedup();
+        let mut best_gate: Option<(u32, GateId)> = None;
+        for ci in 0..search.cand.len() {
+            let id = GateId::from_index(search.cand[ci] as usize);
+            if !self.in_d_frontier(id, planes, fault) {
+                continue;
+            }
+            let co = self.testability.co(id);
+            if best_gate.is_some_and(|(c, _)| co >= c) {
+                continue;
+            }
+            if self.x_path_to_po(id, planes, search) {
+                best_gate = Some((co, id));
+            }
+        }
+        let (_, gate) = best_gate?;
         let g = self.netlist.gate(gate);
         // Set one still-X input to the non-controlling value (XOR-family:
         // pick the cheaper polarity).
@@ -298,53 +658,49 @@ impl Podem {
         best.map(|(_, net, val)| (net, val))
     }
 
-    /// Gates through which the fault effect can still advance.
-    fn d_frontier(&self, planes: &Planes, fault: Fault) -> Vec<GateId> {
-        let mut out = Vec::new();
-        for (id, g) in self.netlist.iter() {
-            let kind = g.kind();
-            if kind == GateKind::Input || kind.is_state() {
-                continue;
-            }
-            if !planes.fluid(id) {
-                continue;
-            }
-            let mut has_d_input = g.fanin().iter().any(|&f| planes.has_d(f));
-            if let FaultSite::GateInput { gate, pin } = fault.site() {
-                if gate == id {
-                    // the branch fault is excited iff the source net's good
-                    // value differs from the stuck value
-                    let src = g.fanin()[pin as usize];
-                    let gv = planes.good[src.index()];
-                    if gv.is_specified() && gv != Trit::from_bool(fault.stuck_value()) {
-                        has_d_input = true;
-                    }
-                }
-            }
-            if has_d_input {
-                out.push(id);
+    /// `true` if the fault effect can still advance through `id` — the
+    /// per-gate D-frontier membership test. A frontier gate necessarily has
+    /// a fanin carrying D (or is the branch-faulted gate itself), and D
+    /// values exist only inside the fault cone, so callers only probe cone
+    /// gates.
+    fn in_d_frontier(&self, id: GateId, planes: &Planes, fault: Fault) -> bool {
+        let g = self.netlist.gate(id);
+        let kind = g.kind();
+        if kind == GateKind::Input || kind.is_state() || !planes.fluid(id) {
+            return false;
+        }
+        if g.fanin().iter().any(|&f| planes.has_d(f)) {
+            return true;
+        }
+        if let FaultSite::GateInput { gate, pin } = fault.site() {
+            if gate == id {
+                // the branch fault is excited iff the source net's good
+                // value differs from the stuck value
+                let src = g.fanin()[pin as usize];
+                let gv = planes.good[src.index()];
+                return gv != TV_X && gv != tv_from_bool(fault.stuck_value());
             }
         }
-        out
+        false
     }
 
     /// `true` if some path of still-fluid nets leads from `from` to a
     /// primary output.
-    fn x_path_to_po(&self, from: GateId, planes: &Planes) -> bool {
-        let mut seen = vec![false; self.netlist.gate_count()];
-        let mut stack = vec![from];
-        seen[from.index()] = true;
-        let mut is_po = vec![false; self.netlist.gate_count()];
-        for &o in self.netlist.outputs() {
-            is_po[o.index()] = true;
+    fn x_path_to_po(&self, from: GateId, planes: &Planes, s: &mut Search) -> bool {
+        s.epoch += 1;
+        if s.epoch == 0 {
+            s.seen.fill(0);
+            s.epoch = 1;
         }
+        let mut stack = vec![from];
+        s.seen[from.index()] = s.epoch;
         while let Some(g) = stack.pop() {
-            if is_po[g.index()] {
+            if self.is_po[g.index()] {
                 return true;
             }
-            for &fo in &self.fanouts[g.index()] {
-                if !seen[fo.index()] && planes.fluid(fo) {
-                    seen[fo.index()] = true;
+            for &fo in self.fanouts_of(g.index()) {
+                if s.seen[fo.index()] != s.epoch && planes.fluid(fo) {
+                    s.seen[fo.index()] = s.epoch;
                     stack.push(fo);
                 }
             }
@@ -360,7 +716,7 @@ impl Podem {
             match g.kind() {
                 GateKind::Input => {
                     // only an unassigned PI is a valid decision variable
-                    if planes.good[net.index()] != Trit::X {
+                    if planes.good[net.index()] != TV_X {
                         return None;
                     }
                     return self.netlist.input_position(net).map(|p| (p, val));
@@ -379,40 +735,47 @@ impl Podem {
                     // walk through fluid nets (either plane X): a fluid net
                     // always has a fluid fanin, and a fluid PI is exactly an
                     // unassigned PI, so the walk terminates at a decision
-                    // variable
-                    let xs: Vec<GateId> = g
-                        .fanin()
-                        .iter()
-                        .copied()
-                        .filter(|&f| planes.fluid(f))
-                        .collect();
-                    if xs.is_empty() {
-                        return None;
-                    }
+                    // variable. Selection folds over the fluid fanins
+                    // directly; `<` / `>=` replicate the first-min and
+                    // last-max tie-breaks of the Iterator adapters.
+                    let fluid = g.fanin().iter().copied().filter(|&f| planes.fluid(f));
                     let (next, next_val) = match kind.controlling_value() {
                         Some(c) if v_needed == c => {
                             // any single input at c decides: take the easiest
-                            let n = xs
-                                .iter()
-                                .copied()
-                                .min_by_key(|&f| self.testability.cc(f, c))?;
+                            let mut best: Option<(u32, GateId)> = None;
+                            for f in fluid {
+                                let k = self.testability.cc(f, c);
+                                if best.is_none_or(|(bk, _)| k < bk) {
+                                    best = Some((k, f));
+                                }
+                            }
+                            let (_, n) = best?;
                             (n, c)
                         }
                         Some(c) => {
                             // all inputs must be !c: attack the hardest first
-                            let n = xs
-                                .iter()
-                                .copied()
-                                .max_by_key(|&f| self.testability.cc(f, !c))?;
+                            let mut best: Option<(u32, GateId)> = None;
+                            for f in fluid {
+                                let k = self.testability.cc(f, !c);
+                                if best.is_none_or(|(bk, _)| k >= bk) {
+                                    best = Some((k, f));
+                                }
+                            }
+                            let (_, n) = best?;
                             (n, !c)
                         }
                         None => {
                             // XOR-family: parity target; pick the easiest
                             // polarity of the easiest input (heuristic — the
                             // decision search guarantees correctness).
-                            let n = xs.iter().copied().min_by_key(|&f| {
-                                self.testability.cc0(f).min(self.testability.cc1(f))
-                            })?;
+                            let mut best: Option<(u32, GateId)> = None;
+                            for f in fluid {
+                                let k = self.testability.cc0(f).min(self.testability.cc1(f));
+                                if best.is_none_or(|(bk, _)| k < bk) {
+                                    best = Some((k, f));
+                                }
+                            }
+                            let (_, n) = best?;
                             let v = self.testability.cc1(n) < self.testability.cc0(n);
                             (n, v)
                         }
@@ -429,7 +792,44 @@ impl Podem {
 mod tests {
     use super::*;
     use fbist_fault::{reference, FaultList};
-    use fbist_netlist::{bench, embedded};
+    use fbist_netlist::{bench, embedded, eval_trit};
+
+    #[test]
+    fn tv_eval_matches_eval_trit() {
+        // the branchless two-bit evaluation must agree with the reference
+        // three-valued evaluation on every (kind, values) combination of
+        // up to 3 fanins
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        let trits = [Trit::Zero, Trit::One, Trit::X];
+        for kind in kinds {
+            for n in 1..=3usize {
+                for combo in 0..3usize.pow(n as u32) {
+                    let vals: Vec<Trit> = (0..n)
+                        .map(|i| trits[(combo / 3usize.pow(i as u32)) % 3])
+                        .collect();
+                    let expect = tv_of(eval_trit(kind, &vals));
+                    let got = eval_tv(kind, n, |p| tv_of(vals[p]));
+                    assert_eq!(got, expect, "{kind} {vals:?}");
+                }
+            }
+        }
+        for v in [Trit::Zero, Trit::One, Trit::X] {
+            assert_eq!(
+                eval_tv(GateKind::Not, 1, |_| tv_of(v)),
+                tv_of(eval_trit(GateKind::Not, &[v]))
+            );
+            assert_eq!(eval_tv(GateKind::Buff, 1, |_| tv_of(v)), tv_of(v));
+        }
+        assert_eq!(eval_tv(GateKind::Const0, 0, |_| TV_X), TV_ZERO);
+        assert_eq!(eval_tv(GateKind::Const1, 0, |_| TV_X), TV_ONE);
+    }
 
     /// Every cube PODEM returns must detect its fault under both constant
     /// fills (the X-positions are genuinely don't-care).

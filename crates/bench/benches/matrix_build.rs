@@ -1,0 +1,64 @@
+//! Per-row vs. cross-row-batched Detection-Matrix construction.
+//!
+//! Measures `InitialReseedingBuilder::matrix_for` under both engines at
+//! `jobs = 1` (so the ratio is pure lane-filling, not parallelism) on a
+//! mid-size and a c7552-scale circuit, across the τ regimes that matter:
+//! `τ = 3` (per-row blocks 94 % empty — the batched engine's best case),
+//! `τ = 31` (the default; 50 % empty) and `τ = 63` (rows fill whole
+//! blocks exactly — batching can win nothing, and must not lose). The two
+//! engines are bit-identical by construction (asserted below before
+//! timing), so every ratio is pure speedup.
+//!
+//! CI consumes the merged `BENCH_results.json` entries and fails if the
+//! batched engine is ever slower than per-row at τ ≤ 31.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_bench::build_circuit;
+use fbist_genbench::profile;
+use reseed_core::{FlowConfig, InitialReseedingBuilder, MatrixBuild, TpgKind};
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_build");
+    group.sample_size(10);
+    for name in ["mid256", "big3500"] {
+        let p = profile(name).expect("profile registered");
+        let netlist = build_circuit(&p, 1);
+        let cfg = FlowConfig::new(TpgKind::Adder);
+        let builder = InitialReseedingBuilder::new(&netlist).expect("combinational circuit");
+        let base = builder.build(&cfg);
+        let tpg = cfg.tpg.build(netlist.inputs().len());
+
+        for tau in [3usize, 31, 63] {
+            let run = |engine: MatrixBuild| {
+                builder.matrix_for(
+                    tpg.as_ref(),
+                    &base.atpg.patterns,
+                    &base.target_faults,
+                    tau,
+                    cfg.seed,
+                    1,
+                    engine,
+                )
+            };
+            assert_eq!(
+                run(MatrixBuild::PerRow).1.row_major(),
+                run(MatrixBuild::Batched).1.row_major(),
+                "batched matrix must be bit-identical to per-row ({name}, τ={tau})"
+            );
+            for (label, engine) in [
+                ("per_row", MatrixBuild::PerRow),
+                ("batched", MatrixBuild::Batched),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(label, format!("{name}_tau{tau}")),
+                    &engine,
+                    |b, &engine| b.iter(|| run(engine)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_build);
+criterion_main!(benches);

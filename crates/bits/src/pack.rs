@@ -98,6 +98,53 @@ pub const fn lane_mask(n: usize) -> u64 {
     }
 }
 
+/// A mask with `len` bits set starting at lane `start` — selects one *lane
+/// group* of a shared block (the lanes one batched row occupies).
+///
+/// ```
+/// assert_eq!(fbist_bits::pack::lane_group_mask(0, 64), u64::MAX);
+/// assert_eq!(fbist_bits::pack::lane_group_mask(2, 3), 0b11100);
+/// assert_eq!(fbist_bits::pack::lane_group_mask(60, 4), 0xF000_0000_0000_0000);
+/// assert_eq!(fbist_bits::pack::lane_group_mask(5, 0), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the group overruns the block (`start + len > 64`).
+#[inline]
+pub const fn lane_group_mask(start: usize, len: usize) -> u64 {
+    assert!(start + len <= BLOCK, "lane group overruns the block");
+    lane_mask(len) << start
+}
+
+/// Packs patterns into an existing block of signal-major words, occupying
+/// the lanes `lane_offset..lane_offset + patterns.len()`.
+///
+/// This is the building block of cross-row batching: several pattern
+/// segments from different rows share one 64-lane block, each at its own
+/// lane offset. Lanes outside the group are left untouched.
+///
+/// # Panics
+///
+/// Panics if the group overruns the block or a pattern's width differs
+/// from `words.len()`.
+pub fn pack_patterns_at(words: &mut [u64], lane_offset: usize, patterns: &[BitVec]) {
+    assert!(
+        lane_offset + patterns.len() <= BLOCK,
+        "lane group overruns the block: offset {lane_offset} + {} patterns",
+        patterns.len()
+    );
+    for (k, p) in patterns.iter().enumerate() {
+        assert_eq!(p.width(), words.len(), "pattern {k} width mismatch");
+        let bit = 1u64 << (lane_offset + k);
+        for (i, word) in words.iter_mut().enumerate() {
+            if p.get(i) {
+                *word |= bit;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +186,35 @@ mod tests {
     fn width_mismatch_panics() {
         let p = vec![BitVec::zeros(3)];
         let _ = pack_patterns(4, &p);
+    }
+
+    #[test]
+    fn pack_at_matches_whole_block_packing() {
+        // packing two segments at their offsets == packing the
+        // concatenation in one go
+        let a: Vec<BitVec> = (0..5u64).map(|v| BitVec::from_u64(6, v * 11)).collect();
+        let b: Vec<BitVec> = (0..7u64).map(|v| BitVec::from_u64(6, v * 23)).collect();
+        let mut concat = a.clone();
+        concat.extend(b.iter().cloned());
+        let whole = pack_patterns(6, &concat);
+        let mut words = vec![0u64; 6];
+        pack_patterns_at(&mut words, 0, &a);
+        pack_patterns_at(&mut words, 5, &b);
+        assert_eq!(words, whole);
+    }
+
+    #[test]
+    fn lane_group_masks_tile_the_block() {
+        assert_eq!(lane_group_mask(0, 10) | lane_group_mask(10, 54), u64::MAX);
+        assert_eq!(lane_group_mask(0, 10) & lane_group_mask(10, 54), 0);
+        assert_eq!(lane_group_mask(63, 1), 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn lane_group_overrun_panics() {
+        let mut words = vec![0u64; 2];
+        let patterns = vec![BitVec::zeros(2); 10];
+        pack_patterns_at(&mut words, 60, &patterns);
     }
 }

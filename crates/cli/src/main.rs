@@ -19,8 +19,9 @@
 //! libraries, and all accept `--jobs N` (0 = auto; also via the
 //! `FBIST_JOBS` environment variable) to size the worker pool the
 //! parallel stages run on, plus `--backend auto|dense|sparse` to pick the
-//! set-covering implementation — results are identical for every job
-//! count and every backend.
+//! set-covering implementation and `--matrix-build per-row|batched|auto`
+//! to pick the Detection-Matrix construction engine — results are
+//! identical for every job count, backend and engine.
 
 use std::process::ExitCode;
 
@@ -31,7 +32,7 @@ use fbist_netlist::{bench, full_scan, Netlist, NetlistStats};
 use fbist_setcover::lp;
 use reseed_core::{
     export, tradeoff_sweep, Backend, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
-    ReseedingFlow, TpgKind,
+    MatrixBuild, ReseedingFlow, TpgKind,
 };
 
 fn main() -> ExitCode {
@@ -63,18 +64,22 @@ usage:
 path separator), else a built-in profile name, else an embedded circuit.
 KIND is one of add, sub, mul, lfsr, mplfsr, wrand.
 Every subcommand also accepts --jobs N (worker threads; 0 = auto, also
-settable via the FBIST_JOBS environment variable) and --backend
-auto|dense|sparse (set-covering implementation). Results are identical
-for every job count and every backend.";
+settable via the FBIST_JOBS environment variable), --backend
+auto|dense|sparse (set-covering implementation) and --matrix-build
+per-row|batched|auto (Detection-Matrix construction engine; auto batches
+whenever sharing 64-lane blocks across rows saves block evaluations).
+Results are identical for every job count, backend and engine.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     apply_jobs(args)?;
-    // validate --backend globally (like --jobs) so a typo can never be
-    // silently ignored by a subcommand that does not solve a cover
+    // validate --backend and --matrix-build globally (like --jobs) so a
+    // typo can never be silently ignored by a subcommand that does not
+    // solve a cover or build a matrix
     parse_backend(args)?;
+    parse_matrix_build(args)?;
     let rest = &args[1..];
     match cmd.as_str() {
         "profiles" => cmd_profiles(),
@@ -112,6 +117,13 @@ fn parse_backend(args: &[String]) -> Result<Backend, String> {
     match flag(args, "--backend") {
         None => Ok(Backend::Auto),
         Some(v) => Backend::parse(&v),
+    }
+}
+
+fn parse_matrix_build(args: &[String]) -> Result<MatrixBuild, String> {
+    match flag(args, "--matrix-build") {
+        None => Ok(MatrixBuild::Auto),
+        Some(v) => MatrixBuild::parse(&v),
     }
 }
 
@@ -271,7 +283,8 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
     let tau: usize = parse_num(args, "--tau", 31)?;
     let cfg = FlowConfig::new(tpg)
         .with_tau(tau)
-        .with_backend(parse_backend(args)?);
+        .with_backend(parse_backend(args)?)
+        .with_matrix_build(parse_matrix_build(args)?);
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
     let report = flow.run(&cfg);
     if let Some(path) = flag(args, "--csv") {
@@ -336,7 +349,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .map(|s| s.trim().parse().map_err(|_| format!("bad τ {s:?}")))
             .collect::<Result<_, _>>()?,
     };
-    let cfg = FlowConfig::new(tpg).with_backend(parse_backend(args)?);
+    let cfg = FlowConfig::new(tpg)
+        .with_backend(parse_backend(args)?)
+        .with_matrix_build(parse_matrix_build(args)?);
     let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
     println!(
         "{} [{}] — reseedings vs. test length (Figure 2)",
@@ -361,10 +376,20 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let tpg = parse_tpg(args)?;
     let tau: usize = parse_num(args, "--tau", 31)?;
     let backend = parse_backend(args)?;
+    let matrix_build = parse_matrix_build(args)?;
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
-    let report = flow.run(&FlowConfig::new(tpg).with_tau(tau).with_backend(backend));
+    let report = flow.run(
+        &FlowConfig::new(tpg)
+            .with_tau(tau)
+            .with_backend(backend)
+            .with_matrix_build(matrix_build),
+    );
     let gatsby = Gatsby::new(&n).map_err(|e| e.to_string())?;
-    let init = flow.builder().build(&FlowConfig::new(tpg).with_tau(tau));
+    let init = flow.builder().build(
+        &FlowConfig::new(tpg)
+            .with_tau(tau)
+            .with_matrix_build(matrix_build),
+    );
     let gres = gatsby.run(
         &init.target_faults,
         &GatsbyConfig {
@@ -402,7 +427,9 @@ fn cmd_lp(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
     let tau: usize = parse_num(args, "--tau", 31)?;
-    let cfg = FlowConfig::new(tpg).with_tau(tau);
+    let cfg = FlowConfig::new(tpg)
+        .with_tau(tau)
+        .with_matrix_build(parse_matrix_build(args)?);
     let builder = InitialReseedingBuilder::new(&n).map_err(|e| e.to_string())?;
     let init = builder.build(&cfg);
     print!("{}", lp::to_lp(&init.matrix));

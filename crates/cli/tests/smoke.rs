@@ -145,6 +145,33 @@ fn backend_flag_rejects_garbage_on_every_subcommand() {
 }
 
 #[test]
+fn matrix_build_flag_never_changes_results() {
+    let (ok_p, out_p, _) = fbist(&["reseed", "c17", "--tau", "7", "--matrix-build", "per-row"]);
+    let (ok_b, out_b, _) = fbist(&["reseed", "c17", "--tau", "7", "--matrix-build", "batched"]);
+    let (ok_a, out_a, _) = fbist(&["reseed", "c17", "--tau", "7", "--matrix-build", "auto"]);
+    assert!(ok_p && ok_b && ok_a);
+    assert_eq!(out_p, out_b, "--matrix-build must never change results");
+    assert_eq!(out_p, out_a, "--matrix-build must never change results");
+}
+
+#[test]
+fn matrix_build_flag_rejects_garbage_on_every_subcommand() {
+    // validated globally (like --jobs and --backend)
+    for args in [
+        ["reseed", "c17", "--matrix-build", "perrow"],
+        ["stats", "c17", "--matrix-build", "rowwise"],
+        ["sweep", "c17", "--matrix-build", "batch"],
+    ] {
+        let (ok, _, stderr) = fbist(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("unknown matrix-build engine"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn jobs_flag_accepts_zero_as_auto() {
     let (ok, stdout, stderr) = fbist(&["reseed", "c17", "--tau", "3", "--jobs", "0"]);
     assert!(ok, "{stderr}");

@@ -5,8 +5,8 @@
 //! set against the target fault list `F`.
 
 use fbist_atpg::{Atpg, AtpgResult};
-use fbist_bits::BitVec;
-use fbist_fault::{FaultList, FaultSimulator};
+use fbist_bits::{pack, BitVec};
+use fbist_fault::{BatchPlan, FaultList, FaultSimulator};
 use fbist_netlist::Netlist;
 use fbist_setcover::DetectionMatrix;
 use fbist_sim::SimError;
@@ -14,7 +14,7 @@ use fbist_tpg::{PatternGenerator, Triplet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::FlowConfig;
+use crate::config::{FlowConfig, MatrixBuild};
 
 /// The initial reseeding `T` plus everything derived while building it.
 #[derive(Debug)]
@@ -95,6 +95,7 @@ impl InitialReseedingBuilder {
             config.tau,
             config.seed,
             config.jobs,
+            config.matrix_build,
         );
 
         InitialReseeding {
@@ -111,14 +112,30 @@ impl InitialReseedingBuilder {
     /// cones differ wildly in simulation cost.
     const ROW_CHUNK: usize = 4;
 
+    /// Shared blocks handed to one pool dispatch of the batched engine. A
+    /// shared block is a full 64-lane fault-simulation unit (good-circuit
+    /// eval + one cone propagation per undropped fault), so a few of them
+    /// already amortise the dispatch; keeping the chunk small load-balances
+    /// blocks whose masked-dropping savings differ.
+    const BLOCK_CHUNK: usize = 4;
+
     /// Builds triplets and the Detection Matrix for an explicit pattern
     /// list and fault list (used by the τ-sweep to reuse one ATPG run).
     ///
-    /// `jobs` fans the per-triplet fault simulations out across the pool
-    /// (`0` = global default). Every RNG draw happens in the serial
-    /// prologue below, so the triplet stream — and therefore the matrix —
-    /// is a pure function of `(seed, patterns, tau)`: the result is
-    /// bit-identical for every job count.
+    /// `jobs` fans the construction out across the pool (`0` = global
+    /// default) and `build` picks the engine. Every RNG draw happens in
+    /// the serial prologue below, so the triplet stream — and therefore
+    /// the matrix — is a pure function of `(seed, patterns, tau)`: the
+    /// result is bit-identical for every job count *and* every engine.
+    ///
+    /// The per-row engine fans triplet chunks out and fault-simulates each
+    /// row on its own. The batched engine plans the rows' expanded pattern
+    /// streams into shared 64-lane blocks ([`BatchPlan`]), fans the
+    /// *blocks* out, and reassembles rows in index order from the
+    /// partial detection sets each block range reports — the union over
+    /// any partition of the block axis is the same, so worker count and
+    /// scheduling can never change a bit.
+    #[allow(clippy::too_many_arguments)]
     pub fn matrix_for(
         &self,
         tpg: &dyn PatternGenerator,
@@ -127,6 +144,7 @@ impl InitialReseedingBuilder {
         tau: usize,
         seed: u64,
         jobs: usize,
+        build: MatrixBuild,
     ) -> (Vec<Triplet>, DetectionMatrix) {
         // Serial prologue: derive every triplet (and thus consume the full
         // RNG stream) before any worker starts, in pattern order. Worker
@@ -138,14 +156,46 @@ impl InitialReseedingBuilder {
             .map(|p| tpg.seed_for(p, &mut word).with_tau(tau))
             .collect();
 
-        // Parallel region: expansion + fault simulation per triplet, rows
-        // assembled in triplet index order.
-        let rows = mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
-            self.fsim.detects(&tpg.expand(t), target_faults)
+        let matrix = if use_batched(build, patterns.len(), tau) {
+            // Batched engine: expand every row up front (workers address
+            // rows by block range, so the whole stream must be
+            // materialised), then fan shared blocks out.
+            let rows: Vec<Vec<BitVec>> =
+                mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| tpg.expand(t));
+            self.batched_matrix(&rows, target_faults, jobs)
+        } else {
+            // Per-row engine: expansion fused with the fault simulation,
+            // one call per triplet, rows assembled in triplet index order
+            // (only ROW_CHUNK rows of patterns live at a time).
+            let bits = mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
+                self.fsim.detects(&tpg.expand(t), target_faults)
+            });
+            DetectionMatrix::from_rows(target_faults.len(), bits)
+        };
+        (triplets, matrix)
+    }
+
+    /// The cross-row batched build: plan shared blocks, fan *block ranges*
+    /// out over the pool, and OR the per-range row partials into the
+    /// matrix (any partition yields the same union).
+    fn batched_matrix(
+        &self,
+        rows: &[Vec<BitVec>],
+        target_faults: &FaultList,
+        jobs: usize,
+    ) -> DetectionMatrix {
+        let lengths: Vec<usize> = rows.iter().map(Vec::len).collect();
+        let plan = BatchPlan::new(&lengths);
+        let ranges = plan.block_count().div_ceil(Self::BLOCK_CHUNK);
+        let partials = mini_rayon::par_map_indexed(jobs, ranges, |i| {
+            let lo = i * Self::BLOCK_CHUNK;
+            let hi = (lo + Self::BLOCK_CHUNK).min(plan.block_count());
+            self.fsim.detects_blocks(&plan, lo..hi, rows, target_faults)
         });
-        (
-            triplets,
-            DetectionMatrix::from_rows(target_faults.len(), rows),
+        DetectionMatrix::from_partial_rows(
+            rows.len(),
+            target_faults.len(),
+            partials.into_iter().flatten(),
         )
     }
 
@@ -157,6 +207,24 @@ impl InitialReseedingBuilder {
     /// The bound netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist
+    }
+}
+
+/// Engine choice: [`MatrixBuild::Auto`] batches exactly when sharing
+/// blocks across rows evaluates fewer of them than the per-row build —
+/// always, unless every row fills whole 64-lane blocks exactly. Every
+/// triplet expands to `τ + 1` patterns
+/// ([`PatternGenerator::expand`]'s contract), so the decision needs only
+/// the row count and `τ`, not the expanded patterns.
+fn use_batched(build: MatrixBuild, row_count: usize, tau: usize) -> bool {
+    match build {
+        MatrixBuild::PerRow => false,
+        MatrixBuild::Batched => true,
+        MatrixBuild::Auto => {
+            let len = tau + 1;
+            let per_row = row_count * len.div_ceil(pack::BLOCK);
+            (row_count * len).div_ceil(pack::BLOCK) < per_row
+        }
     }
 }
 
@@ -232,6 +300,38 @@ mod tests {
         let b = build(TpgKind::Adder, 3);
         assert_eq!(a.triplets, b.triplets);
         assert_eq!(a.matrix.row_major(), b.matrix.row_major());
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_for_every_engine() {
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        for tau in [0, 3, 9, 63, 64, 100] {
+            let base = FlowConfig::new(TpgKind::Adder).with_tau(tau);
+            let per_row = b.build(&base.clone().with_matrix_build(MatrixBuild::PerRow));
+            for engine in [MatrixBuild::Batched, MatrixBuild::Auto] {
+                let other = b.build(&base.clone().with_matrix_build(engine));
+                assert_eq!(per_row.triplets, other.triplets, "τ={tau} {engine}");
+                assert_eq!(
+                    per_row.matrix.row_major(),
+                    other.matrix.row_major(),
+                    "τ={tau} {engine}: matrix differs from per-row"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_engine_batches_only_when_blocks_shrink() {
+        // τ+1 = 64 exactly: batching cannot reduce the block count
+        assert!(!use_batched(MatrixBuild::Auto, 10, 63));
+        // τ+1 = 4: 10 per-row blocks collapse into 1 shared block
+        assert!(use_batched(MatrixBuild::Auto, 10, 3));
+        // τ+1 = 65: the straddling lane makes sharing pay again
+        assert!(use_batched(MatrixBuild::Auto, 10, 64));
+        // explicit engines ignore the arithmetic
+        assert!(use_batched(MatrixBuild::Batched, 10, 63));
+        assert!(!use_batched(MatrixBuild::PerRow, 10, 3));
     }
 
     #[test]

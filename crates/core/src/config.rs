@@ -64,6 +64,63 @@ impl std::fmt::Display for TpgKind {
     }
 }
 
+/// Which engine fills the Detection Matrix.
+///
+/// Like `jobs` and [`Backend`], this is purely a throughput knob: every
+/// engine produces a bit-identical matrix (pinned by the
+/// `batched_matrix_equivalence` suite), so the choice can never change a
+/// cover, a report, or a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatrixBuild {
+    /// One fault-simulation call per triplet: each row's `τ + 1` expanded
+    /// patterns get their own 64-lane blocks, leaving `63 − τ (mod 64)`
+    /// lanes of every final block dead.
+    PerRow,
+    /// The cross-row batch engine: many rows' pattern streams share
+    /// 64-lane blocks (see `fbist_fault::BatchPlan`), so the good circuit
+    /// is evaluated and every fault cone propagated once per *shared*
+    /// block — up to `64 / (τ + 1)`× fewer of both.
+    Batched,
+    /// Picks per instance: batched whenever sharing blocks across rows
+    /// actually reduces the total block count (i.e. unless every row
+    /// already fills whole blocks exactly).
+    #[default]
+    Auto,
+}
+
+impl MatrixBuild {
+    /// Short name used in reports and flags (`per-row`, `batched`, `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixBuild::PerRow => "per-row",
+            MatrixBuild::Batched => "batched",
+            MatrixBuild::Auto => "auto",
+        }
+    }
+
+    /// Parses a flag value (`per-row`, `batched` or `auto`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values on anything else.
+    pub fn parse(s: &str) -> Result<MatrixBuild, String> {
+        match s {
+            "per-row" => Ok(MatrixBuild::PerRow),
+            "batched" => Ok(MatrixBuild::Batched),
+            "auto" => Ok(MatrixBuild::Auto),
+            other => Err(format!(
+                "unknown matrix-build engine {other:?} (expected per-row, batched or auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixBuild {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of the full reseeding flow.
 ///
 /// Construct with [`FlowConfig::new`] and customise with the `with_*`
@@ -100,6 +157,10 @@ pub struct FlowConfig {
     /// [`mini_rayon::jobs`] default (`FBIST_JOBS` / available
     /// parallelism). Results are bit-identical for every value.
     pub jobs: usize,
+    /// Detection-Matrix construction engine (per-row, cross-row batched,
+    /// or auto). Purely a throughput knob: every engine fills the matrix
+    /// bit-identically.
+    pub matrix_build: MatrixBuild,
 }
 
 impl FlowConfig {
@@ -113,6 +174,7 @@ impl FlowConfig {
             solve: SolveConfig::default(),
             trim: true,
             jobs: 0,
+            matrix_build: MatrixBuild::Auto,
         }
     }
 
@@ -162,6 +224,15 @@ impl FlowConfig {
         self.solve.backend = backend;
         self
     }
+
+    /// Selects the Detection-Matrix construction engine
+    /// ([`MatrixBuild::Auto`] batches whenever sharing blocks across rows
+    /// saves block evaluations). Like `jobs` and the backend, purely a
+    /// throughput knob: every engine fills the matrix bit-identically.
+    pub fn with_matrix_build(mut self, matrix_build: MatrixBuild) -> FlowConfig {
+        self.matrix_build = matrix_build;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +260,24 @@ mod tests {
             let g = kind.build(24);
             assert_eq!(g.width(), 24, "{kind}");
         }
+    }
+
+    #[test]
+    fn matrix_build_parse_roundtrip() {
+        for mb in [MatrixBuild::PerRow, MatrixBuild::Batched, MatrixBuild::Auto] {
+            assert_eq!(MatrixBuild::parse(mb.name()), Ok(mb));
+        }
+        assert!(MatrixBuild::parse("perrow").is_err());
+        assert_eq!(
+            FlowConfig::new(TpgKind::Adder)
+                .with_matrix_build(MatrixBuild::Batched)
+                .matrix_build,
+            MatrixBuild::Batched
+        );
+        assert_eq!(
+            FlowConfig::new(TpgKind::Adder).matrix_build,
+            MatrixBuild::Auto
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod verify;
 
 pub use area::{rom_bits_per_triplet, solution_rom_bits, AreaModel};
 pub use builder::{InitialReseeding, InitialReseedingBuilder};
-pub use config::{FlowConfig, TpgKind};
+pub use config::{FlowConfig, MatrixBuild, TpgKind};
 pub use fbist_setcover::Backend;
 pub use flow::ReseedingFlow;
 pub use gatsby::{Gatsby, GatsbyConfig, GatsbyResult};

@@ -97,6 +97,7 @@ fn rebuild_at_tau(
         tau,
         config.seed,
         config.jobs,
+        config.matrix_build,
     );
     crate::builder::InitialReseeding {
         triplets,

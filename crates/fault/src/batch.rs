@@ -1,0 +1,250 @@
+//! Cross-row batch planning: fill every simulation lane.
+//!
+//! The per-row Detection-Matrix build hands each triplet's `τ + 1`
+//! expanded patterns to the fault simulator on their own, so every row
+//! pays for full 64-lane blocks whether it fills them or not — at the
+//! default `τ = 31` half of every block is dead, at `τ = 3` it is 94 %.
+//! A [`BatchPlan`] removes that waste by concatenating the pattern
+//! streams of many rows into *shared* blocks: each block carries up to 64
+//! consecutive patterns of the global stream, and a [`LaneGroup`] records
+//! which lanes belong to which row. The good circuit is then evaluated
+//! once per shared block and each fault's cone is propagated once per
+//! shared block, cutting both counts by up to `64 / (τ + 1)` versus the
+//! per-row build.
+//!
+//! Detection attribution is exact: a row detects a fault iff *some* lane
+//! of *some* of its groups differs at a primary output, which is precisely
+//! the per-row criterion — so the batched matrix is bit-identical to the
+//! per-row one (see [`FaultSimulator::detects_batch`]).
+//!
+//! [`FaultSimulator::detects_batch`]: crate::FaultSimulator::detects_batch
+
+use fbist_bits::pack;
+
+/// One row's contiguous run of lanes within one shared block.
+///
+/// A row whose stream straddles a block boundary is split into several
+/// groups in consecutive blocks; `start` locates each group's first
+/// pattern within the row's own stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGroup {
+    /// Row index in the batch.
+    pub row: u32,
+    /// Index of the group's first pattern within the row's stream.
+    pub start: u32,
+    /// First lane the group occupies in the block.
+    pub lane_offset: u8,
+    /// Number of lanes (= patterns) in the group.
+    pub len: u8,
+}
+
+impl LaneGroup {
+    /// The block lanes this group occupies, as a 64-bit mask.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        pack::lane_group_mask(self.lane_offset as usize, self.len as usize)
+    }
+}
+
+/// One shared 64-lane block of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchBlock {
+    /// The lane groups sharing the block, in ascending lane order (and
+    /// therefore ascending row order — the stream is concatenated in row
+    /// index order). Never empty.
+    pub groups: Vec<LaneGroup>,
+    /// Total occupied lanes (`≤ 64`; every block except possibly the last
+    /// is full).
+    pub lanes_used: usize,
+}
+
+/// The shared-block layout for a batch of rows.
+///
+/// Built from the row lengths alone: lane assignment is a pure function
+/// of `(row_lengths)`, so a plan computed once can drive any number of
+/// simulations and any partition of its blocks across workers.
+///
+/// # Example
+///
+/// ```
+/// use fbist_fault::BatchPlan;
+///
+/// // 20 rows of 6 patterns each (τ = 5): 120 lanes in 2 blocks instead
+/// // of the 20 blocks the per-row build would evaluate.
+/// let plan = BatchPlan::new(&[6; 20]);
+/// assert_eq!(plan.block_count(), 2);
+/// assert_eq!(plan.total_lanes(), 120);
+/// assert!(plan.occupancy() > 0.9);
+/// // one row straddles the block boundary and splits into two lane groups
+/// let groups: usize = plan.blocks().iter().map(|b| b.groups.len()).sum();
+/// assert_eq!(groups, 21);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    blocks: Vec<BatchBlock>,
+    rows: usize,
+    total_lanes: usize,
+}
+
+impl BatchPlan {
+    /// Plans shared blocks for rows of the given pattern-stream lengths,
+    /// concatenating streams in row order. Zero-length rows occupy no
+    /// lanes (they simply detect nothing).
+    pub fn new(row_lengths: &[usize]) -> BatchPlan {
+        let total_lanes: usize = row_lengths.iter().sum();
+        let mut blocks = Vec::with_capacity(total_lanes.div_ceil(pack::BLOCK));
+        let mut cur = BatchBlock {
+            groups: Vec::new(),
+            lanes_used: 0,
+        };
+        for (row, &len) in row_lengths.iter().enumerate() {
+            let mut start = 0usize;
+            while start < len {
+                if cur.lanes_used == pack::BLOCK {
+                    blocks.push(std::mem::replace(
+                        &mut cur,
+                        BatchBlock {
+                            groups: Vec::new(),
+                            lanes_used: 0,
+                        },
+                    ));
+                }
+                let seg = (len - start).min(pack::BLOCK - cur.lanes_used);
+                cur.groups.push(LaneGroup {
+                    row: row as u32,
+                    start: start as u32,
+                    lane_offset: cur.lanes_used as u8,
+                    len: seg as u8,
+                });
+                cur.lanes_used += seg;
+                start += seg;
+            }
+        }
+        if cur.lanes_used > 0 {
+            blocks.push(cur);
+        }
+        BatchPlan {
+            blocks,
+            rows: row_lengths.len(),
+            total_lanes,
+        }
+    }
+
+    /// The planned blocks, in global stream order.
+    pub fn blocks(&self) -> &[BatchBlock] {
+        &self.blocks
+    }
+
+    /// Number of planned blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of rows the plan covers (including zero-length ones).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total occupied lanes across all blocks.
+    pub fn total_lanes(&self) -> usize {
+        self.total_lanes
+    }
+
+    /// Occupied fraction of the planned lane capacity, in `[0, 1]` (1.0
+    /// for an empty plan). Every block except possibly the last is full,
+    /// so this approaches 1 as the batch grows — compare with the
+    /// `(τ + 1) / 64` the per-row build is stuck at when `τ + 1 < 64`.
+    pub fn occupancy(&self) -> f64 {
+        if self.blocks.is_empty() {
+            1.0
+        } else {
+            self.total_lanes as f64 / (self.blocks.len() * pack::BLOCK) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_concatenates_streams() {
+        let plan = BatchPlan::new(&[4, 4, 4]);
+        assert_eq!(plan.block_count(), 1);
+        assert_eq!(plan.total_lanes(), 12);
+        let b = &plan.blocks()[0];
+        assert_eq!(b.lanes_used, 12);
+        assert_eq!(b.groups.len(), 3);
+        assert_eq!(b.groups[1].row, 1);
+        assert_eq!(b.groups[1].lane_offset, 4);
+        assert_eq!(b.groups[2].lane_offset, 8);
+        assert_eq!(b.groups[1].mask(), 0b1111_0000);
+    }
+
+    #[test]
+    fn straddling_rows_split_into_groups() {
+        // 60 + 10: the second row spans the block boundary
+        let plan = BatchPlan::new(&[60, 10]);
+        assert_eq!(plan.block_count(), 2);
+        let b0 = &plan.blocks()[0];
+        let b1 = &plan.blocks()[1];
+        assert_eq!(b0.groups.len(), 2);
+        assert_eq!(
+            b0.groups[1],
+            LaneGroup {
+                row: 1,
+                start: 0,
+                lane_offset: 60,
+                len: 4
+            }
+        );
+        assert_eq!(b1.groups.len(), 1);
+        assert_eq!(
+            b1.groups[0],
+            LaneGroup {
+                row: 1,
+                start: 4,
+                lane_offset: 0,
+                len: 6
+            }
+        );
+        assert_eq!(b1.lanes_used, 6);
+    }
+
+    #[test]
+    fn long_rows_fill_whole_blocks() {
+        let plan = BatchPlan::new(&[130]);
+        assert_eq!(plan.block_count(), 3);
+        assert_eq!(plan.blocks()[2].lanes_used, 2);
+        let starts: Vec<u32> = plan
+            .blocks()
+            .iter()
+            .flat_map(|b| b.groups.iter().map(|g| g.start))
+            .collect();
+        assert_eq!(starts, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn zero_length_rows_are_skipped_but_counted() {
+        let plan = BatchPlan::new(&[0, 3, 0]);
+        assert_eq!(plan.rows(), 3);
+        assert_eq!(plan.block_count(), 1);
+        assert_eq!(plan.blocks()[0].groups.len(), 1);
+        assert_eq!(plan.blocks()[0].groups[0].row, 1);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = BatchPlan::new(&[]);
+        assert_eq!(plan.block_count(), 0);
+        assert_eq!(plan.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn occupancy_improves_on_per_row() {
+        // per-row at τ = 3: 4/64 = 6.25 %; batched with 32 rows: 100 %
+        let plan = BatchPlan::new(&[4; 32]);
+        assert_eq!(plan.block_count(), 2);
+        assert_eq!(plan.occupancy(), 1.0);
+    }
+}

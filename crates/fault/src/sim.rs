@@ -1,12 +1,12 @@
 //! Bit-parallel, event-driven single-fault-propagation simulator.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::ops::Range;
 
 use fbist_bits::{pack, BitMatrix, BitVec};
-use fbist_netlist::{GateId, GateKind, Netlist};
+use fbist_netlist::{CsrAdjacency, GateId, GateKind, Netlist};
 use fbist_sim::{PackedSimulator, SimError};
 
+use crate::batch::BatchPlan;
 use crate::model::{Fault, FaultList, FaultSite};
 
 /// Outcome of a fault-simulation run over an ordered pattern set.
@@ -77,18 +77,30 @@ impl FaultSimResult {
 pub struct FaultSimulator {
     sim: PackedSimulator,
     rank: Vec<u32>,
-    fanout_pins: Vec<Vec<GateId>>,
+    /// Flat fanout/fanin adjacency and per-gate kinds: the propagation
+    /// sweep's whole working set in contiguous arrays, instead of
+    /// pointer-chasing through `Gate` structs (heap `Vec` + name `String`
+    /// per gate).
+    fo: CsrAdjacency,
+    fi: CsrAdjacency,
+    kinds: Vec<GateKind>,
     is_po: Vec<bool>,
 }
 
 /// Per-run scratch space, reused across faults and blocks.
+///
+/// The event queue is a bitset over topological *ranks*: enqueueing a gate
+/// sets the bit of its rank, and the sweep pops bits in ascending rank
+/// order with word scans. Ranks are unique, so this visits gates in
+/// exactly the order a rank-keyed priority queue would — without any heap
+/// traffic. Every bit is cleared as it is popped, so the bitset is empty
+/// again when a propagation finishes and needs no per-fault reset.
 struct Scratch {
     faulty: Vec<u64>,
     stamp: Vec<u32>,
-    queued: Vec<u32>,
     epoch: u32,
     touched: Vec<u32>,
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    pending: Vec<u64>,
 }
 
 impl Scratch {
@@ -96,10 +108,9 @@ impl Scratch {
         Scratch {
             faulty: vec![0; n],
             stamp: vec![0; n],
-            queued: vec![0; n],
             epoch: 0,
             touched: Vec::new(),
-            heap: BinaryHeap::new(),
+            pending: vec![0; n.div_ceil(64)],
         }
     }
 
@@ -107,11 +118,9 @@ impl Scratch {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.stamp.fill(0);
-            self.queued.fill(0);
             self.epoch = 1;
         }
         self.touched.clear();
-        self.heap.clear();
     }
 }
 
@@ -129,7 +138,6 @@ impl FaultSimulator {
         for (i, &g) in sim.order().iter().enumerate() {
             rank[g.index()] = i as u32;
         }
-        let fanout_pins = netlist.fanouts();
         let mut is_po = vec![false; netlist.gate_count()];
         for &o in netlist.outputs() {
             is_po[o.index()] = true;
@@ -137,9 +145,23 @@ impl FaultSimulator {
         Ok(FaultSimulator {
             sim,
             rank,
-            fanout_pins,
+            fo: netlist.fanouts_csr(),
+            fi: netlist.fanins_csr(),
+            kinds: netlist.kinds(),
             is_po,
         })
+    }
+
+    /// Gate `i`'s fanouts (CSR slice).
+    #[inline]
+    fn fanouts_of(&self, i: usize) -> &[GateId] {
+        self.fo.of(i)
+    }
+
+    /// Gate `i`'s fanins (CSR slice).
+    #[inline]
+    fn fanins_of(&self, i: usize) -> &[GateId] {
+        self.fi.of(i)
     }
 
     /// The simulated netlist.
@@ -183,6 +205,7 @@ impl FaultSimulator {
             let base = (block_idx * pack::BLOCK) as u32;
             let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
             self.sim.eval_block_into(&pi_words, &mut good);
+            self.sim.record_occupancy(chunk.len());
             let lane_mask = pack::lane_mask(chunk.len());
             for (fid, fault) in faults.iter() {
                 if detected.get(fid.index()) {
@@ -203,6 +226,119 @@ impl FaultSimulator {
         }
     }
 
+    /// Cross-row batched fault simulation: simulates many rows' pattern
+    /// streams through shared 64-lane blocks (see [`BatchPlan`]) and
+    /// returns, per row, the set of detected faults.
+    ///
+    /// The good circuit is evaluated once per *shared* block and every
+    /// fault's cone is propagated once per shared block — against the
+    /// per-row [`detects`](Self::detects) loop this cuts both counts by
+    /// up to `64 / (τ + 1)` while producing **bit-identical rows**:
+    /// `detects_batch(rows, f)[i] == detects(&rows[i], f)` for every `i`.
+    /// Detection of a row is the OR of its lanes' primary-output
+    /// differences, which does not depend on which block a lane lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn detects_batch(&self, rows: &[Vec<BitVec>], faults: &FaultList) -> Vec<BitVec> {
+        let lengths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
+        let plan = BatchPlan::new(&lengths);
+        let mut out = vec![BitVec::zeros(faults.len()); rows.len()];
+        for (row, bits) in self.detects_blocks(&plan, 0..plan.block_count(), rows, faults) {
+            out[row].union_with(&bits);
+        }
+        out
+    }
+
+    /// Simulates a consecutive range of a [`BatchPlan`]'s blocks and
+    /// returns `(row, detected)` partials for the rows whose lane groups
+    /// appear in the range. Rows straddling the range boundary come back
+    /// partial; OR the partials of all ranges to recover
+    /// [`detects_batch`](Self::detects_batch) — any partition of the
+    /// block axis yields the same union, which is what lets callers fan
+    /// ranges out across a worker pool.
+    ///
+    /// Within the range, *masked dropping* is applied: once every row
+    /// with lanes in a later block has already detected a fault inside
+    /// this range, the fault's propagation is skipped for that block.
+    /// Dropping can never change a row's detected set — detection is a
+    /// monotone OR over lanes, so skipping lanes that can only re-detect
+    /// an already-detected `(row, fault)` pair removes redundant work
+    /// only (the same argument that makes per-row fault dropping exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for the plan, a row referenced
+    /// by the plan is missing from `rows`, or a pattern's width differs
+    /// from the input count.
+    pub fn detects_blocks(
+        &self,
+        plan: &BatchPlan,
+        range: Range<usize>,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+    ) -> Vec<(usize, BitVec)> {
+        let blocks = &plan.blocks()[range];
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        // Streams are concatenated in row order, so a block range touches
+        // a consecutive row span.
+        let first_row = blocks[0].groups[0].row as usize;
+        let last_row = blocks[blocks.len() - 1]
+            .groups
+            .last()
+            .expect("nonempty")
+            .row as usize;
+        let mut partial = vec![BitVec::zeros(faults.len()); last_row - first_row + 1];
+
+        let n = self.netlist().gate_count();
+        let mut good = vec![0u64; n];
+        let mut scratch = Scratch::new(n);
+        let mut pi_words = vec![0u64; self.sim.input_count()];
+        for block in blocks {
+            pi_words.fill(0);
+            for g in &block.groups {
+                let row = &rows[g.row as usize];
+                let start = g.start as usize;
+                pack::pack_patterns_at(
+                    &mut pi_words,
+                    g.lane_offset as usize,
+                    &row[start..start + g.len as usize],
+                );
+            }
+            self.sim.eval_block_into(&pi_words, &mut good);
+            self.sim.record_occupancy(block.lanes_used);
+            for (fid, fault) in faults.iter() {
+                let fi = fid.index();
+                let mut mask = 0u64;
+                for g in &block.groups {
+                    if !partial[g.row as usize - first_row].get(fi) {
+                        mask |= g.mask();
+                    }
+                }
+                if mask == 0 {
+                    continue; // masked dropping: nobody here still needs it
+                }
+                let det = self.propagate(&good, fault, &mut scratch) & mask;
+                if det == 0 {
+                    continue;
+                }
+                for g in &block.groups {
+                    if det & g.mask() != 0 {
+                        partial[g.row as usize - first_row].set(fi, true);
+                    }
+                }
+            }
+        }
+        partial
+            .into_iter()
+            .enumerate()
+            .map(|(i, bits)| (first_row + i, bits))
+            .collect()
+    }
+
     /// Builds the full pattern × fault detection dictionary (no dropping):
     /// cell `(p, f)` is 1 iff pattern `p` detects fault `f`.
     ///
@@ -221,6 +357,7 @@ impl FaultSimulator {
             let base = block_idx * pack::BLOCK;
             let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
             self.sim.eval_block_into(&pi_words, &mut good);
+            self.sim.record_occupancy(chunk.len());
             let lane_mask = pack::lane_mask(chunk.len());
             for (fid, fault) in faults.iter() {
                 let mut det = self.propagate(&good, fault, &mut scratch) & lane_mask;
@@ -265,32 +402,50 @@ impl FaultSimulator {
                 gate
             }
         };
-        for &fo in &self.fanout_pins[origin.index()] {
-            self.enqueue(fo, s);
+        let mut min_w = usize::MAX;
+        let mut max_w = 0usize;
+        for &fo in self.fanouts_of(origin.index()) {
+            let r = self.rank[fo.index()] as usize;
+            s.pending[r >> 6] |= 1u64 << (r & 63);
+            min_w = min_w.min(r >> 6);
+            max_w = max_w.max(r >> 6);
         }
 
-        // Event-driven sweep in topological rank order. Each gate is
-        // visited at most once: its fanins are final when it pops.
-        while let Some(Reverse((_, idx))) = s.heap.pop() {
-            let id = GateId::from_index(idx as usize);
-            let g = netlist.gate(id);
-            if g.kind() == GateKind::Dff {
+        // Event-driven sweep in topological rank order: pop set bits of
+        // the pending bitset ascending. Each gate is visited at most once
+        // (enqueued gates always rank above the gate that enqueues them),
+        // so its fanins are final when its bit pops.
+        let order = self.sim.order();
+        let mut w = min_w;
+        while w <= max_w {
+            let word = s.pending[w];
+            if word == 0 {
+                w += 1;
+                continue;
+            }
+            let b = word.trailing_zeros() as usize;
+            s.pending[w] = word & (word - 1);
+            let idx = order[(w << 6) | b].index();
+            let kind = self.kinds[idx];
+            if kind == GateKind::Dff {
                 continue; // state boundary: effects stop at D pins
             }
             let epoch = s.epoch;
-            let v = eval_mixed(g.kind(), g.fanin(), |i| {
+            let v = eval_mixed(kind, self.fanins_of(idx), |i| {
                 if s.stamp[i] == epoch {
                     s.faulty[i]
                 } else {
                     good[i]
                 }
             });
-            if v != good[idx as usize] {
-                s.faulty[idx as usize] = v;
-                s.stamp[idx as usize] = epoch;
-                s.touched.push(idx);
-                for &fo in &self.fanout_pins[idx as usize] {
-                    self.enqueue(fo, s);
+            if v != good[idx] {
+                s.faulty[idx] = v;
+                s.stamp[idx] = epoch;
+                s.touched.push(idx as u32);
+                for &fo in self.fanouts_of(idx) {
+                    let r = self.rank[fo.index()] as usize;
+                    s.pending[r >> 6] |= 1u64 << (r & 63);
+                    max_w = max_w.max(r >> 6);
                 }
             }
         }
@@ -303,15 +458,6 @@ impl FaultSimulator {
             }
         }
         det
-    }
-
-    #[inline]
-    fn enqueue(&self, id: GateId, s: &mut Scratch) {
-        let i = id.index();
-        if s.queued[i] != s.epoch {
-            s.queued[i] = s.epoch;
-            s.heap.push(Reverse((self.rank[i], i as u32)));
-        }
     }
 }
 
@@ -519,6 +665,80 @@ mod tests {
             sim.detects(&patterns, &faults),
             sim.run(&patterns, &faults).detected
         );
+    }
+
+    #[test]
+    fn detects_batch_matches_per_row() {
+        // rows of wildly different lengths — empty, sub-block, straddling
+        // a shared-block boundary, and multi-block — must come back
+        // bit-identical to the per-row path.
+        let n = embedded::adder4();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut pat = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            BitVec::from_u64(9, state)
+        };
+        let rows: Vec<Vec<BitVec>> = [0usize, 4, 1, 60, 130, 7, 0, 64, 33]
+            .iter()
+            .map(|&len| (0..len).map(|_| pat()).collect())
+            .collect();
+        let batched = sim.detects_batch(&rows, &faults);
+        assert_eq!(batched.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batched[i], sim.detects(row, &faults), "row {i}");
+        }
+    }
+
+    #[test]
+    fn detects_blocks_union_is_partition_invariant() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let rows: Vec<Vec<BitVec>> = (0..9)
+            .map(|r| (0..23u64).map(|v| BitVec::from_u64(5, v * 7 + r)).collect())
+            .collect();
+        let plan = BatchPlan::new(&[23; 9]);
+        let whole = sim.detects_batch(&rows, &faults);
+        for chunk in [1usize, 2, 3] {
+            let mut out = vec![BitVec::zeros(faults.len()); rows.len()];
+            let mut lo = 0;
+            while lo < plan.block_count() {
+                let hi = (lo + chunk).min(plan.block_count());
+                for (row, bits) in sim.detects_blocks(&plan, lo..hi, &rows, &faults) {
+                    out[row].union_with(&bits);
+                }
+                lo = hi;
+            }
+            assert_eq!(out, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_occupancy_beats_per_row() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        // 16 rows of 4 patterns (τ = 3 shape)
+        let rows: Vec<Vec<BitVec>> = (0..16)
+            .map(|r| (0..4u64).map(|v| BitVec::from_u64(5, v + r)).collect())
+            .collect();
+        sim.good_simulator().reset_occupancy();
+        for row in &rows {
+            let _ = sim.detects(row, &faults);
+        }
+        let per_row = sim.good_simulator().occupancy();
+        assert_eq!(per_row.blocks, 16);
+        assert!(per_row.ratio() < 0.1, "per-row ratio {}", per_row.ratio());
+
+        sim.good_simulator().reset_occupancy();
+        let _ = sim.detects_batch(&rows, &faults);
+        let batched = sim.good_simulator().occupancy();
+        assert_eq!(batched.blocks, 1);
+        assert_eq!(batched.ratio(), 1.0);
     }
 
     #[test]

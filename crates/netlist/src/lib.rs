@@ -47,6 +47,6 @@ pub mod scan;
 pub mod stats;
 
 pub use gate::{eval_packed, eval_trit, GateKind};
-pub use netlist::{Gate, GateId, Netlist, NetlistError};
+pub use netlist::{CsrAdjacency, Gate, GateId, Netlist, NetlistError};
 pub use scan::{full_scan, ScanView};
 pub use stats::NetlistStats;

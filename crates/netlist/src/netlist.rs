@@ -62,6 +62,32 @@ impl Gate {
     }
 }
 
+/// A per-gate adjacency (fanins or fanouts) flattened into CSR form:
+/// `of(i)` is one contiguous slice of a single allocation, so inner-loop
+/// sweeps (fault propagation, PODEM implication) walk flat memory instead
+/// of pointer-chasing a `Vec` per gate.
+///
+/// Built by [`Netlist::fanouts_csr`] / [`Netlist::fanins_csr`]; the slice
+/// contents and order match [`Netlist::fanouts`] and the gates' fanin
+/// lists exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    start: Vec<u32>,
+    flat: Vec<GateId>,
+}
+
+impl CsrAdjacency {
+    /// Gate `i`'s adjacent gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn of(&self, i: usize) -> &[GateId] {
+        &self.flat[self.start[i] as usize..self.start[i + 1] as usize]
+    }
+}
+
 /// Errors produced while building or validating a [`Netlist`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -342,6 +368,37 @@ impl Netlist {
             }
         }
         out
+    }
+
+    /// The fanout adjacency of [`fanouts`](Self::fanouts) in CSR form.
+    pub fn fanouts_csr(&self) -> CsrAdjacency {
+        let fanouts = self.fanouts();
+        let mut start = Vec::with_capacity(self.gates.len() + 1);
+        let mut flat = Vec::new();
+        start.push(0u32);
+        for fos in &fanouts {
+            flat.extend_from_slice(fos);
+            start.push(flat.len() as u32);
+        }
+        CsrAdjacency { start, flat }
+    }
+
+    /// The fanin adjacency (each gate's ordered input pins) in CSR form.
+    pub fn fanins_csr(&self) -> CsrAdjacency {
+        let mut start = Vec::with_capacity(self.gates.len() + 1);
+        let mut flat = Vec::new();
+        start.push(0u32);
+        for g in &self.gates {
+            flat.extend_from_slice(&g.fanin);
+            start.push(flat.len() as u32);
+        }
+        CsrAdjacency { start, flat }
+    }
+
+    /// Every gate's kind, indexed by gate id — a flat copy for inner
+    /// loops that should not touch the full [`Gate`] structs.
+    pub fn kinds(&self) -> Vec<GateKind> {
+        self.gates.iter().map(|g| g.kind()).collect()
     }
 
     /// Computes a topological order of the *combinational* gates: sources

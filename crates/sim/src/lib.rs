@@ -43,7 +43,7 @@ mod threeval;
 pub use error::SimError;
 pub use event::EventSimulator;
 pub use misr::Misr;
-pub use packed::PackedSimulator;
+pub use packed::{LaneOccupancy, PackedSimulator};
 pub use seq::SeqSimulator;
 pub use threeval::TritSimulator;
 

@@ -1,9 +1,39 @@
 //! 64-way bit-parallel combinational simulation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use fbist_bits::{pack, BitVec};
 use fbist_netlist::{GateId, Netlist};
 
 use crate::{sweep, SimError};
+
+/// Lane-occupancy statistics of a [`PackedSimulator`].
+///
+/// Every evaluated block carries 64 lanes whether or not they hold real
+/// patterns; the ratio of used lanes to available lanes is the direct
+/// measure of how much bit-parallel bandwidth a workload wastes. The
+/// per-row Detection-Matrix build occupies only `τ + 1 (mod 64)` lanes of
+/// each row's last block (6.25 % at `τ = 3`); the cross-row batch engine
+/// exists to push this toward 100 %.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOccupancy {
+    /// Blocks evaluated since construction or the last reset.
+    pub blocks: u64,
+    /// Pattern lanes actually occupied across those blocks.
+    pub lanes: u64,
+}
+
+impl LaneOccupancy {
+    /// Occupied fraction of the available lanes, in `[0, 1]` (1.0 when no
+    /// block was evaluated yet).
+    pub fn ratio(&self) -> f64 {
+        if self.blocks == 0 {
+            1.0
+        } else {
+            self.lanes as f64 / (self.blocks * pack::BLOCK as u64) as f64
+        }
+    }
+}
 
 /// Bit-parallel combinational simulator.
 ///
@@ -32,10 +62,27 @@ use crate::{sweep, SimError};
 /// assert_eq!(r[0].to_u64(), Some(0b01000));
 /// # Ok::<(), fbist_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PackedSimulator {
     netlist: Netlist,
     order: Vec<GateId>,
+    /// Occupancy counters (see [`LaneOccupancy`]). Atomic so that callers
+    /// sharing one simulator across a worker pool can record without
+    /// locking; totals are deterministic because the set of evaluated
+    /// blocks is.
+    blocks_evaluated: AtomicU64,
+    lanes_occupied: AtomicU64,
+}
+
+impl Clone for PackedSimulator {
+    fn clone(&self) -> Self {
+        PackedSimulator {
+            netlist: self.netlist.clone(),
+            order: self.order.clone(),
+            blocks_evaluated: AtomicU64::new(self.blocks_evaluated.load(Ordering::Relaxed)),
+            lanes_occupied: AtomicU64::new(self.lanes_occupied.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PackedSimulator {
@@ -56,7 +103,34 @@ impl PackedSimulator {
         Ok(PackedSimulator {
             netlist: netlist.clone(),
             order,
+            blocks_evaluated: AtomicU64::new(0),
+            lanes_occupied: AtomicU64::new(0),
         })
+    }
+
+    /// Records one evaluated block with `lanes_used` occupied lanes.
+    ///
+    /// Called by the block-level drivers (the fault simulator and
+    /// [`simulate_patterns`](Self::simulate_patterns)), which know how many
+    /// lanes of the block carried real patterns.
+    pub fn record_occupancy(&self, lanes_used: usize) {
+        self.blocks_evaluated.fetch_add(1, Ordering::Relaxed);
+        self.lanes_occupied
+            .fetch_add(lanes_used as u64, Ordering::Relaxed);
+    }
+
+    /// Occupancy counters accumulated so far.
+    pub fn occupancy(&self) -> LaneOccupancy {
+        LaneOccupancy {
+            blocks: self.blocks_evaluated.load(Ordering::Relaxed),
+            lanes: self.lanes_occupied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the occupancy counters to zero.
+    pub fn reset_occupancy(&self) {
+        self.blocks_evaluated.store(0, Ordering::Relaxed);
+        self.lanes_occupied.store(0, Ordering::Relaxed);
     }
 
     /// The simulated netlist.
@@ -122,6 +196,7 @@ impl PackedSimulator {
         for chunk in patterns.chunks(pack::BLOCK) {
             let pi_words = pack::pack_patterns(self.input_count(), chunk);
             self.eval_block_into(&pi_words, &mut values);
+            self.record_occupancy(chunk.len());
             let po_words = self.output_words(&values);
             responses.extend(pack::unpack_patterns(&po_words, chunk.len()));
         }

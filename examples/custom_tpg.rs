@@ -66,9 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // initial reseeding with the custom TPG
     let flow = ReseedingFlow::new(&netlist)?;
-    let (triplets, matrix) =
-        flow.builder()
-            .matrix_for(&tpg, &atpg_result.patterns, &target, 31, 0xC0FFEE, 0);
+    let (triplets, matrix) = flow.builder().matrix_for(
+        &tpg,
+        &atpg_result.patterns,
+        &target,
+        31,
+        0xC0FFEE,
+        0,
+        MatrixBuild::Auto,
+    );
     println!(
         "custom-TPG detection matrix: {} x {} (density {:.3})",
         matrix.rows(),

@@ -60,7 +60,7 @@ pub mod prelude {
         AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, Triplet,
     };
     pub use reseed_core::{
-        tradeoff_sweep, verify_report, FlowConfig, Gatsby, GatsbyConfig, ReseedingFlow,
-        ReseedingReport, TpgKind,
+        tradeoff_sweep, verify_report, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
+        MatrixBuild, ReseedingFlow, ReseedingReport, TpgKind,
     };
 }
