@@ -19,9 +19,11 @@
 //! libraries, and all accept `--jobs N` (0 = auto; also via the
 //! `FBIST_JOBS` environment variable) to size the worker pool the
 //! parallel stages run on, plus `--backend auto|dense|sparse` to pick the
-//! set-covering implementation and `--matrix-build per-row|batched|auto`
-//! to pick the Detection-Matrix construction engine — results are
-//! identical for every job count, backend and engine.
+//! set-covering implementation, `--matrix-build per-row|batched|auto` to
+//! pick the Detection-Matrix construction engine and `--sweep-engine
+//! per-tau|first-detection|auto` to pick how the τ-sweep is evaluated
+//! (per-τ re-simulation vs. one shared first-detection pass) — results
+//! are identical for every job count, backend and engine.
 
 use std::process::ExitCode;
 
@@ -32,7 +34,7 @@ use fbist_netlist::{bench, full_scan, Netlist, NetlistStats};
 use fbist_setcover::lp;
 use reseed_core::{
     export, tradeoff_sweep, Backend, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
-    MatrixBuild, ReseedingFlow, TpgKind,
+    MatrixBuild, ReseedingFlow, SweepEngine, TpgKind,
 };
 
 fn main() -> ExitCode {
@@ -63,23 +65,30 @@ usage:
 <circuit> is resolved as: an explicit .bench path (`.bench` suffix or a
 path separator), else a built-in profile name, else an embedded circuit.
 KIND is one of add, sub, mul, lfsr, mplfsr, wrand.
+--taus takes a non-empty comma-separated list; duplicate values are
+computed once, order is preserved, and every τ (like --tau) must not
+exceed 16777215.
 Every subcommand also accepts --jobs N (worker threads; 0 = auto, also
 settable via the FBIST_JOBS environment variable), --backend
-auto|dense|sparse (set-covering implementation) and --matrix-build
+auto|dense|sparse (set-covering implementation), --matrix-build
 per-row|batched|auto (Detection-Matrix construction engine; auto batches
-whenever sharing 64-lane blocks across rows saves block evaluations).
-Results are identical for every job count, backend and engine.";
+whenever sharing 64-lane blocks across rows saves block evaluations) and
+--sweep-engine per-tau|first-detection|auto (τ-sweep evaluation; auto
+shares one first-detection simulation across all τ points whenever there
+are at least two). Results are identical for every job count, backend
+and engine.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     apply_jobs(args)?;
-    // validate --backend and --matrix-build globally (like --jobs) so a
-    // typo can never be silently ignored by a subcommand that does not
-    // solve a cover or build a matrix
+    // validate --backend, --matrix-build and --sweep-engine globally
+    // (like --jobs) so a typo can never be silently ignored by a
+    // subcommand that does not solve a cover, build a matrix or sweep
     parse_backend(args)?;
     parse_matrix_build(args)?;
+    parse_sweep_engine(args)?;
     let rest = &args[1..];
     match cmd.as_str() {
         "profiles" => cmd_profiles(),
@@ -124,6 +133,29 @@ fn parse_matrix_build(args: &[String]) -> Result<MatrixBuild, String> {
     match flag(args, "--matrix-build") {
         None => Ok(MatrixBuild::Auto),
         Some(v) => MatrixBuild::parse(&v),
+    }
+}
+
+fn parse_sweep_engine(args: &[String]) -> Result<SweepEngine, String> {
+    match flag(args, "--sweep-engine") {
+        None => Ok(SweepEngine::Auto),
+        Some(v) => SweepEngine::parse(&v),
+    }
+}
+
+/// Parses `--tau` with a default, rejecting values over the bound via
+/// the shared [`reseed_core::check_tau`] diagnostic.
+fn parse_tau(args: &[String], default: usize) -> Result<usize, String> {
+    reseed_core::check_tau("--tau", parse_num(args, "--tau", default)?)
+}
+
+/// Parses `--taus` for the sweep subcommand via the shared
+/// [`reseed_core::parse_tau_list`] rules (non-empty, bounded,
+/// order-preserving dedup); an absent flag yields the default list.
+fn parse_taus(args: &[String]) -> Result<Vec<usize>, String> {
+    match flag(args, "--taus") {
+        None => Ok(vec![0, 3, 7, 15, 31, 63, 127, 255]),
+        Some(list) => reseed_core::parse_tau_list(&list),
     }
 }
 
@@ -280,7 +312,7 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
 fn cmd_reseed(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
-    let tau: usize = parse_num(args, "--tau", 31)?;
+    let tau: usize = parse_tau(args, 31)?;
     let cfg = FlowConfig::new(tpg)
         .with_tau(tau)
         .with_backend(parse_backend(args)?)
@@ -342,16 +374,11 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
-    let taus: Vec<usize> = match flag(args, "--taus") {
-        None => vec![0, 3, 7, 15, 31, 63, 127, 255],
-        Some(list) => list
-            .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("bad τ {s:?}")))
-            .collect::<Result<_, _>>()?,
-    };
+    let taus = parse_taus(args)?;
     let cfg = FlowConfig::new(tpg)
         .with_backend(parse_backend(args)?)
-        .with_matrix_build(parse_matrix_build(args)?);
+        .with_matrix_build(parse_matrix_build(args)?)
+        .with_sweep_engine(parse_sweep_engine(args)?);
     let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
     println!(
         "{} [{}] — reseedings vs. test length (Figure 2)",
@@ -374,7 +401,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
-    let tau: usize = parse_num(args, "--tau", 31)?;
+    let tau: usize = parse_tau(args, 31)?;
     let backend = parse_backend(args)?;
     let matrix_build = parse_matrix_build(args)?;
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
@@ -426,7 +453,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 fn cmd_lp(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let tpg = parse_tpg(args)?;
-    let tau: usize = parse_num(args, "--tau", 31)?;
+    let tau: usize = parse_tau(args, 31)?;
     let cfg = FlowConfig::new(tpg)
         .with_tau(tau)
         .with_matrix_build(parse_matrix_build(args)?);
@@ -434,4 +461,59 @@ fn cmd_lp(args: &[String]) -> Result<(), String> {
     let init = builder.build(&cfg);
     print!("{}", lp::to_lp(&init.matrix));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tau_boundary_is_exact() {
+        // the largest supported value is accepted; the next one is not
+        let max = FlowConfig::MAX_TAU.to_string();
+        assert_eq!(
+            parse_tau(&args(&["--tau", &max]), 31),
+            Ok(FlowConfig::MAX_TAU)
+        );
+        let over = (FlowConfig::MAX_TAU + 1).to_string();
+        let err = parse_tau(&args(&["--tau", &over]), 31).unwrap_err();
+        assert!(err.contains("exceeds the supported maximum"), "{err}");
+        assert_eq!(parse_tau(&args(&[]), 31), Ok(31));
+    }
+
+    #[test]
+    fn taus_dedupe_preserves_first_occurrence_order() {
+        assert_eq!(
+            parse_taus(&args(&["--taus", "7, 0,7,3 ,0"])),
+            Ok(vec![7, 0, 3])
+        );
+        let max = FlowConfig::MAX_TAU.to_string();
+        assert_eq!(
+            parse_taus(&args(&["--taus", &format!("0,{max}")])),
+            Ok(vec![0, FlowConfig::MAX_TAU])
+        );
+    }
+
+    #[test]
+    fn taus_reject_empty_bad_and_oversized_values() {
+        let empty = parse_taus(&args(&["--taus", " "])).unwrap_err();
+        assert!(empty.contains("empty τ list"), "{empty}");
+        let bad = parse_taus(&args(&["--taus", "1,,2"])).unwrap_err();
+        assert!(bad.contains("invalid τ value"), "{bad}");
+        let over = (FlowConfig::MAX_TAU + 1).to_string();
+        let huge = parse_taus(&args(&["--taus", &format!("0,{over}")])).unwrap_err();
+        assert!(huge.contains("exceeds the supported maximum"), "{huge}");
+    }
+
+    #[test]
+    fn taus_default_is_the_documented_list() {
+        assert_eq!(
+            parse_taus(&args(&[])),
+            Ok(vec![0, 3, 7, 15, 31, 63, 127, 255])
+        );
+    }
 }

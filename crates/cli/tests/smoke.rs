@@ -45,7 +45,7 @@ fn gen_stats_roundtrip_through_file() {
 }
 
 #[test]
-fn sweep_prints_monotone_table() {
+fn sweep_prints_one_row_per_tau() {
     let (ok, stdout, _) = fbist(&["sweep", "tiny64", "--taus", "0,7,31"]);
     assert!(ok);
     assert!(stdout.contains("test_length"));
@@ -169,6 +169,107 @@ fn matrix_build_flag_rejects_garbage_on_every_subcommand() {
             "{args:?}: {stderr}"
         );
     }
+}
+
+#[test]
+fn sweep_engine_flag_is_output_invariant() {
+    // the new first-detection engine must print byte-identical tables
+    let (ok_p, out_p, _) = fbist(&[
+        "sweep",
+        "tiny64",
+        "--taus",
+        "0,3,7",
+        "--sweep-engine",
+        "per-tau",
+    ]);
+    let (ok_f, out_f, _) = fbist(&[
+        "sweep",
+        "tiny64",
+        "--taus",
+        "0,3,7",
+        "--sweep-engine",
+        "first-detection",
+    ]);
+    let (ok_a, out_a, _) = fbist(&[
+        "sweep",
+        "tiny64",
+        "--taus",
+        "0,3,7",
+        "--sweep-engine",
+        "auto",
+    ]);
+    assert!(ok_p && ok_f && ok_a);
+    assert_eq!(out_p, out_f, "--sweep-engine must never change results");
+    assert_eq!(out_p, out_a, "--sweep-engine must never change results");
+}
+
+#[test]
+fn sweep_engine_flag_rejects_garbage_on_every_subcommand() {
+    // validated globally (like --backend and --matrix-build)
+    for args in [
+        ["sweep", "tiny64", "--sweep-engine", "pertau"],
+        ["stats", "c17", "--sweep-engine", "fast"],
+    ] {
+        let (ok, _, stderr) = fbist(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("unknown sweep engine"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn sweep_rejects_empty_tau_list() {
+    let (ok, _, stderr) = fbist(&["sweep", "tiny64", "--taus", ""]);
+    assert!(!ok, "empty --taus must be rejected");
+    assert!(stderr.contains("empty τ list"), "{stderr}");
+    let (ok, _, stderr) = fbist(&["sweep", "tiny64", "--taus", "  "]);
+    assert!(!ok);
+    assert!(stderr.contains("empty τ list"), "{stderr}");
+}
+
+#[test]
+fn sweep_rejects_malformed_tau_values() {
+    for bad in ["1,,2", "1,banana", "-3"] {
+        let (ok, _, stderr) = fbist(&["sweep", "tiny64", "--taus", bad]);
+        assert!(!ok, "--taus {bad} must be rejected");
+        assert!(stderr.contains("invalid τ value"), "--taus {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn sweep_dedupes_tau_values_preserving_order() {
+    // duplicates used to silently double the covering work; now each τ is
+    // computed once and the table keeps first-occurrence order
+    let (ok, stdout, _) = fbist(&["sweep", "tiny64", "--taus", "7,0,7,7,3"]);
+    assert!(ok);
+    let rows: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .collect();
+    assert_eq!(rows.len(), 3, "{stdout}");
+    let taus: Vec<&str> = rows
+        .iter()
+        .map(|r| r.split_whitespace().next().unwrap())
+        .collect();
+    assert_eq!(taus, ["7", "0", "3"], "{stdout}");
+}
+
+#[test]
+fn tau_values_over_the_bound_are_rejected() {
+    // τ > FlowConfig::MAX_TAU used to overflow τ + 1 in release builds
+    let huge = usize::MAX.to_string();
+    let (ok, _, stderr) = fbist(&["reseed", "c17", "--tau", &huge]);
+    assert!(!ok, "--tau {huge} must be rejected");
+    assert!(stderr.contains("exceeds the supported maximum"), "{stderr}");
+    // the first value over the bound is rejected too (exact boundary —
+    // MAX_TAU itself passing validation is pinned by the parse_taus unit
+    // tests in the binary, where accepting it does not cost a 16M-pattern
+    // expansion)
+    let (ok, _, stderr) = fbist(&["sweep", "tiny64", "--taus", "0,16777216"]);
+    assert!(!ok);
+    assert!(stderr.contains("exceeds the supported maximum"), "{stderr}");
 }
 
 #[test]

@@ -4,17 +4,36 @@
 //! the Detection Matrix by fault-simulating each triplet's expanded test
 //! set against the target fault list `F`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use fbist_atpg::{Atpg, AtpgResult};
 use fbist_bits::{pack, BitVec};
 use fbist_fault::{BatchPlan, FaultList, FaultSimulator};
 use fbist_netlist::Netlist;
-use fbist_setcover::DetectionMatrix;
+use fbist_setcover::{DetectionMatrix, FirstDetectionMatrix};
 use fbist_sim::SimError;
 use fbist_tpg::{PatternGenerator, Triplet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{FlowConfig, MatrixBuild};
+
+/// The simulation-independent half of an [`InitialReseeding`]: one shared
+/// ATPG run and the target fault list it defines.
+///
+/// The τ-sweep builds this once and derives every point's triplets and
+/// Detection Matrix from it — re-running ATPG per τ would change nothing
+/// (the run does not depend on `τ`) and waste the sweep's dominant
+/// fixed cost.
+#[derive(Debug)]
+pub struct AtpgBase {
+    /// The raw ATPG outcome (pattern set, coverage, untestable faults…).
+    pub atpg: AtpgResult,
+    /// The target fault list `F` (the faults `ATPGTS` covers).
+    pub target_faults: FaultList,
+    /// The collapsed universe `F` was selected from.
+    pub universe_size: usize,
+}
 
 /// The initial reseeding `T` plus everything derived while building it.
 #[derive(Debug)]
@@ -58,6 +77,10 @@ pub struct InitialReseedingBuilder {
     netlist: Netlist,
     atpg: Atpg,
     fsim: FaultSimulator,
+    /// Matrix-simulation pass counter (see
+    /// [`matrix_sim_passes`](Self::matrix_sim_passes)). Atomic because the
+    /// builder is shared by reference across the sweep's worker pool.
+    matrix_passes: AtomicU64,
 }
 
 impl InitialReseedingBuilder {
@@ -73,25 +96,41 @@ impl InitialReseedingBuilder {
             netlist: netlist.clone(),
             atpg: Atpg::new(netlist)?,
             fsim: FaultSimulator::new(netlist)?,
+            matrix_passes: AtomicU64::new(0),
         })
+    }
+
+    /// Runs ATPG and derives the target fault list — the shared,
+    /// τ-independent base of every initial reseeding.
+    ///
+    /// This is the paper's (ATPGTS, F): `F` is defined as the faults the
+    /// ATPG test set covers — untestable/aborted faults are excluded,
+    /// exactly like TestGen's "guarantees complete covering of F". The
+    /// run depends only on the netlist and `config.atpg`, never on `τ`,
+    /// which is what lets the τ-sweep build it once.
+    pub fn atpg_base(&self, config: &FlowConfig) -> AtpgBase {
+        let universe = FaultList::collapsed(&self.netlist);
+        let atpg = self.atpg.run(&universe, &config.atpg);
+        let target_faults = universe.subset(&atpg.detected_ids());
+        AtpgBase {
+            atpg,
+            target_faults,
+            universe_size: universe.len(),
+        }
     }
 
     /// Runs ATPG and constructs the initial reseeding and Detection Matrix
     /// for the configured TPG and `τ`.
     pub fn build(&self, config: &FlowConfig) -> InitialReseeding {
-        // 1. ATPG: the paper's (ATPGTS, F). F is defined as the faults the
-        //    ATPG test set covers — untestable/aborted faults are excluded,
-        //    exactly like TestGen's "guarantees complete covering of F".
-        let universe = FaultList::collapsed(&self.netlist);
-        let atpg_result = self.atpg.run(&universe, &config.atpg);
-        let target_faults = universe.subset(&atpg_result.detected_ids());
+        // 1. the shared ATPG base (ATPGTS, F)
+        let base = self.atpg_base(config);
 
         // 2. One triplet per ATPG pattern, expanded and fault-simulated.
         let tpg = config.tpg.build(self.netlist.inputs().len());
         let (triplets, matrix) = self.matrix_for(
             &tpg,
-            &atpg_result.patterns,
-            &target_faults,
+            &base.atpg.patterns,
+            &base.target_faults,
             config.tau,
             config.seed,
             config.jobs,
@@ -101,9 +140,9 @@ impl InitialReseedingBuilder {
         InitialReseeding {
             triplets,
             matrix,
-            target_faults,
-            universe_size: universe.len(),
-            atpg: atpg_result,
+            target_faults: base.target_faults,
+            universe_size: base.universe_size,
+            atpg: base.atpg,
         }
     }
 
@@ -146,15 +185,8 @@ impl InitialReseedingBuilder {
         jobs: usize,
         build: MatrixBuild,
     ) -> (Vec<Triplet>, DetectionMatrix) {
-        // Serial prologue: derive every triplet (and thus consume the full
-        // RNG stream) before any worker starts, in pattern order. Worker
-        // identity and completion order can never leak into the δ values.
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7129_55D1);
-        let mut word = move || rng.gen::<u64>();
-        let triplets: Vec<Triplet> = patterns
-            .iter()
-            .map(|p| tpg.seed_for(p, &mut word).with_tau(tau))
-            .collect();
+        self.matrix_passes.fetch_add(1, Ordering::Relaxed);
+        let triplets = derive_triplets(tpg, patterns, tau, seed);
 
         let matrix = if use_batched(build, patterns.len(), tau) {
             // Batched engine: expand every row up front (workers address
@@ -175,6 +207,31 @@ impl InitialReseedingBuilder {
         (triplets, matrix)
     }
 
+    /// The shared half of both batched builds: plan shared blocks from
+    /// the row lengths, fan *block ranges* of [`Self::BLOCK_CHUNK`] out
+    /// over the pool, and concatenate the per-range `(row, partial)`
+    /// results. Keeping plan construction and range partitioning in one
+    /// place is what makes the "same plan, same partitioning" half of the
+    /// first-detection bit-identity contract hold by construction — the
+    /// detection and first-detection builds differ only in the simulator
+    /// call and the merge.
+    fn batched_partials<T: Send>(
+        &self,
+        rows: &[Vec<BitVec>],
+        jobs: usize,
+        simulate: &BlockRangeSim<'_, T>,
+    ) -> Vec<(usize, T)> {
+        let lengths: Vec<usize> = rows.iter().map(Vec::len).collect();
+        let plan = BatchPlan::new(&lengths);
+        let ranges = plan.block_count().div_ceil(Self::BLOCK_CHUNK);
+        let partials = mini_rayon::par_map_indexed(jobs, ranges, |i| {
+            let lo = i * Self::BLOCK_CHUNK;
+            let hi = (lo + Self::BLOCK_CHUNK).min(plan.block_count());
+            simulate(&plan, lo..hi)
+        });
+        partials.into_iter().flatten().collect()
+    }
+
     /// The cross-row batched build: plan shared blocks, fan *block ranges*
     /// out over the pool, and OR the per-range row partials into the
     /// matrix (any partition yields the same union).
@@ -184,19 +241,83 @@ impl InitialReseedingBuilder {
         target_faults: &FaultList,
         jobs: usize,
     ) -> DetectionMatrix {
-        let lengths: Vec<usize> = rows.iter().map(Vec::len).collect();
-        let plan = BatchPlan::new(&lengths);
-        let ranges = plan.block_count().div_ceil(Self::BLOCK_CHUNK);
-        let partials = mini_rayon::par_map_indexed(jobs, ranges, |i| {
-            let lo = i * Self::BLOCK_CHUNK;
-            let hi = (lo + Self::BLOCK_CHUNK).min(plan.block_count());
-            self.fsim.detects_blocks(&plan, lo..hi, rows, target_faults)
+        let partials = self.batched_partials(rows, jobs, &|plan, range| {
+            self.fsim.detects_blocks(plan, range, rows, target_faults)
         });
-        DetectionMatrix::from_partial_rows(
-            rows.len(),
-            target_faults.len(),
-            partials.into_iter().flatten(),
-        )
+        DetectionMatrix::from_partial_rows(rows.len(), target_faults.len(), partials)
+    }
+
+    /// Builds triplets at `tau_max` and the **first-detection matrix**:
+    /// per `(triplet, fault)` pair, the earliest expanded-pattern index
+    /// that detects — one simulation pass from which the Detection Matrix
+    /// of *every* `τ ≤ tau_max` is derivable by thresholding
+    /// ([`FirstDetectionMatrix::at_tau`]).
+    ///
+    /// The serial RNG prologue, the engine selection and the
+    /// block-range fan-out are exactly [`matrix_for`](Self::matrix_for)'s
+    /// — same seeds, same plan, same partitioning — so the triplets equal
+    /// `matrix_for(.., τ, ..)`'s up to their `τ` field, and
+    /// `first_detection_matrix_for(.., tau_max, ..).1.at_tau(τ)` is
+    /// bit-identical to `matrix_for(.., τ, ..).1` for every `τ ≤ tau_max`,
+    /// every job count and every engine. Per-range partials are merged
+    /// with an elementwise `min`, which is partition-invariant like the
+    /// detection union.
+    #[allow(clippy::too_many_arguments)]
+    pub fn first_detection_matrix_for(
+        &self,
+        tpg: &dyn PatternGenerator,
+        patterns: &[BitVec],
+        target_faults: &FaultList,
+        tau_max: usize,
+        seed: u64,
+        jobs: usize,
+        build: MatrixBuild,
+    ) -> (Vec<Triplet>, FirstDetectionMatrix) {
+        self.matrix_passes.fetch_add(1, Ordering::Relaxed);
+        let triplets = derive_triplets(tpg, patterns, tau_max, seed);
+
+        let firsts: Vec<Vec<u32>> = if use_batched(build, patterns.len(), tau_max) {
+            let rows: Vec<Vec<BitVec>> =
+                mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| tpg.expand(t));
+            let partials = self.batched_partials(&rows, jobs, &|plan, range| {
+                self.fsim
+                    .first_detections_blocks(plan, range, &rows, target_faults)
+            });
+            let mut firsts =
+                vec![vec![FaultSimulator::NO_DETECTION; target_faults.len()]; rows.len()];
+            fbist_fault::merge_first_detections(&mut firsts, partials);
+            firsts
+        } else {
+            mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
+                self.fsim
+                    .run(&tpg.expand(t), target_faults)
+                    .first_detection
+                    .iter()
+                    .map(|o| o.map_or(FaultSimulator::NO_DETECTION, |v| v))
+                    .collect()
+            })
+        };
+        let matrix = FirstDetectionMatrix::from_rows(target_faults.len(), firsts);
+        (triplets, matrix)
+    }
+
+    /// Number of Detection-Matrix simulation passes this builder has run
+    /// ([`matrix_for`](Self::matrix_for) and
+    /// [`first_detection_matrix_for`](Self::first_detection_matrix_for)
+    /// each count one, whatever their engine or job count).
+    ///
+    /// This is the sweep's efficiency contract made observable: a per-τ
+    /// sweep pays one pass per point, the
+    /// first-detection sweep pays exactly **one** pass total — asserted
+    /// in `tests/sweep_equivalence.rs` together with the
+    /// [`LaneOccupancy`](fbist_sim::LaneOccupancy) counters.
+    pub fn matrix_sim_passes(&self) -> u64 {
+        self.matrix_passes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the matrix-pass counter to zero.
+    pub fn reset_matrix_sim_passes(&self) {
+        self.matrix_passes.store(0, Ordering::Relaxed);
     }
 
     /// The underlying fault simulator (shared with the flow for trimming).
@@ -210,20 +331,59 @@ impl InitialReseedingBuilder {
     }
 }
 
+/// One block-range simulation call of the batched fan-out
+/// ([`InitialReseedingBuilder::batched_partials`]): maps the shared plan
+/// and a block range to per-row `(row, partial)` results.
+type BlockRangeSim<'a, T> =
+    dyn Fn(&BatchPlan, std::ops::Range<usize>) -> Vec<(usize, T)> + Sync + 'a;
+
+/// Serial triplet prologue shared by both matrix builds: derive every
+/// triplet (and thus consume the full RNG stream) before any worker
+/// starts, in pattern order. Worker identity and completion order can
+/// never leak into the δ values, and the stream does not depend on `tau`
+/// (`seed_for` never reads it) — so triplets derived at different `τ`
+/// differ *only* in their `τ` field, the keystone of the τ-sweep's
+/// derive-don't-resimulate guarantee.
+fn derive_triplets(
+    tpg: &dyn PatternGenerator,
+    patterns: &[BitVec],
+    tau: usize,
+    seed: u64,
+) -> Vec<Triplet> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7129_55D1);
+    let mut word = move || rng.gen::<u64>();
+    patterns
+        .iter()
+        .map(|p| tpg.seed_for(p, &mut word).with_tau(tau))
+        .collect()
+}
+
 /// Engine choice: [`MatrixBuild::Auto`] batches exactly when sharing
 /// blocks across rows evaluates fewer of them than the per-row build —
 /// always, unless every row fills whole 64-lane blocks exactly. Every
 /// triplet expands to `τ + 1` patterns
 /// ([`PatternGenerator::expand`]'s contract), so the decision needs only
 /// the row count and `τ`, not the expanded patterns.
+///
+/// # Panics
+///
+/// Panics if `τ + 1` or the total lane count overflows `usize` — callers
+/// going through [`FlowConfig::with_tau`] are bounded far below this by
+/// [`FlowConfig::MAX_TAU`], but `matrix_for` takes a raw `usize`, so the
+/// arithmetic is checked instead of wrapping silently in release builds.
 fn use_batched(build: MatrixBuild, row_count: usize, tau: usize) -> bool {
     match build {
         MatrixBuild::PerRow => false,
         MatrixBuild::Batched => true,
         MatrixBuild::Auto => {
-            let len = tau + 1;
+            let len = tau
+                .checked_add(1)
+                .expect("τ + 1 overflows usize — bound τ by FlowConfig::MAX_TAU");
+            let total = row_count
+                .checked_mul(len)
+                .expect("total lane count overflows usize");
             let per_row = row_count * len.div_ceil(pack::BLOCK);
-            (row_count * len).div_ceil(pack::BLOCK) < per_row
+            total.div_ceil(pack::BLOCK) < per_row
         }
     }
 }
@@ -332,6 +492,115 @@ mod tests {
         // explicit engines ignore the arithmetic
         assert!(use_batched(MatrixBuild::Batched, 10, 63));
         assert!(!use_batched(MatrixBuild::PerRow, 10, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "τ + 1 overflows usize")]
+    fn auto_engine_rejects_tau_overflow() {
+        // pre-fix this wrapped to len = 0 in release builds and silently
+        // picked the batched engine for a nonsense τ
+        let _ = use_batched(MatrixBuild::Auto, 10, usize::MAX);
+    }
+
+    #[test]
+    fn first_detection_matrix_thresholds_to_every_tau() {
+        // one first-detection pass at τ_max must reproduce matrix_for's
+        // triplets (up to the τ field) and matrix at every smaller τ, for
+        // every engine
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        let cfg = FlowConfig::new(TpgKind::Adder);
+        let base = b.atpg_base(&cfg);
+        let tpg = cfg.tpg.build(n.inputs().len());
+        let tau_max = 9;
+        for engine in [MatrixBuild::PerRow, MatrixBuild::Batched, MatrixBuild::Auto] {
+            let (trip_max, fdm) = b.first_detection_matrix_for(
+                tpg.as_ref(),
+                &base.atpg.patterns,
+                &base.target_faults,
+                tau_max,
+                cfg.seed,
+                1,
+                engine,
+            );
+            for tau in [0usize, 1, 3, 9] {
+                let (trip, matrix) = b.matrix_for(
+                    tpg.as_ref(),
+                    &base.atpg.patterns,
+                    &base.target_faults,
+                    tau,
+                    cfg.seed,
+                    1,
+                    engine,
+                );
+                let derived: Vec<_> = trip_max.iter().map(|t| t.with_tau(tau)).collect();
+                assert_eq!(trip, derived, "τ={tau} {engine}: triplets");
+                assert_eq!(
+                    matrix.row_major(),
+                    fdm.at_tau(tau).row_major(),
+                    "τ={tau} {engine}: thresholded matrix differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_detection_matrix_is_job_invariant() {
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        let cfg = FlowConfig::new(TpgKind::Adder);
+        let base = b.atpg_base(&cfg);
+        let tpg = cfg.tpg.build(n.inputs().len());
+        let build = |jobs| {
+            b.first_detection_matrix_for(
+                tpg.as_ref(),
+                &base.atpg.patterns,
+                &base.target_faults,
+                9,
+                cfg.seed,
+                jobs,
+                MatrixBuild::Batched,
+            )
+        };
+        let serial = build(1);
+        for jobs in [2, 4, 16] {
+            assert_eq!(build(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn no_detection_sentinels_agree_across_crates() {
+        // the simulator's sentinel feeds FirstDetectionMatrix::from_rows
+        // unchanged — the two constants are one contract
+        assert_eq!(
+            FaultSimulator::NO_DETECTION,
+            FirstDetectionMatrix::NO_DETECTION
+        );
+    }
+
+    #[test]
+    fn matrix_pass_counter_counts_builds() {
+        let n = embedded::c17();
+        let b = InitialReseedingBuilder::new(&n).unwrap();
+        assert_eq!(b.matrix_sim_passes(), 0);
+        let cfg = FlowConfig::new(TpgKind::Adder).with_tau(3);
+        let _ = b.build(&cfg);
+        assert_eq!(b.matrix_sim_passes(), 1);
+        let base = b.atpg_base(&cfg);
+        assert_eq!(b.matrix_sim_passes(), 1, "ATPG alone is not a pass");
+        let tpg = cfg.tpg.build(n.inputs().len());
+        let _ = b.first_detection_matrix_for(
+            tpg.as_ref(),
+            &base.atpg.patterns,
+            &base.target_faults,
+            7,
+            cfg.seed,
+            1,
+            MatrixBuild::Auto,
+        );
+        assert_eq!(b.matrix_sim_passes(), 2);
+        b.reset_matrix_sim_passes();
+        assert_eq!(b.matrix_sim_passes(), 0);
     }
 
     #[test]

@@ -121,6 +121,118 @@ impl std::fmt::Display for MatrixBuild {
     }
 }
 
+/// Which engine evaluates the τ-sweep ([`tradeoff_sweep`]).
+///
+/// Like `jobs`, [`Backend`] and [`MatrixBuild`], purely a throughput
+/// knob: every engine produces bit-identical sweep points (pinned by
+/// `tests/sweep_equivalence.rs`), so the choice can never change a
+/// curve, a report, or an event log.
+///
+/// [`tradeoff_sweep`]: crate::tradeoff_sweep
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SweepEngine {
+    /// One full Detection-Matrix fault simulation per τ point (the
+    /// historical engine): every point pays its own simulation pass.
+    PerTau,
+    /// One fault simulation at `max(taus)` recording each `(triplet,
+    /// fault)` pair's *first* detecting pattern index; every point's
+    /// matrix is then derived by thresholding (`first ≤ τ`) without
+    /// touching the simulator again. Detection at τ is a prefix property
+    /// of detection at `τ_max`, so the derived matrices are bit-identical
+    /// to freshly simulated ones.
+    FirstDetection,
+    /// Picks per call: first-detection whenever the sweep has at least
+    /// two distinct τ values to amortise the single pass over, per-τ for
+    /// degenerate single-point sweeps (where first-index bookkeeping
+    /// buys nothing).
+    #[default]
+    Auto,
+}
+
+impl SweepEngine {
+    /// Short name used in reports and flags (`per-tau`, `first-detection`,
+    /// `auto`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepEngine::PerTau => "per-tau",
+            SweepEngine::FirstDetection => "first-detection",
+            SweepEngine::Auto => "auto",
+        }
+    }
+
+    /// Parses a flag value (`per-tau`, `first-detection` or `auto`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values on anything else.
+    pub fn parse(s: &str) -> Result<SweepEngine, String> {
+        match s {
+            "per-tau" => Ok(SweepEngine::PerTau),
+            "first-detection" => Ok(SweepEngine::FirstDetection),
+            "auto" => Ok(SweepEngine::Auto),
+            other => Err(format!(
+                "unknown sweep engine {other:?} (expected per-tau, first-detection or auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Validates one τ value against [`FlowConfig::MAX_TAU`], naming the
+/// originating flag in the error — the single owner of the user-facing
+/// bound diagnostic, shared by `--tau`, `--taus` and every front end.
+///
+/// # Errors
+///
+/// Returns the diagnostic when `tau` exceeds the bound.
+pub fn check_tau(flag_name: &str, tau: usize) -> Result<usize, String> {
+    if tau > FlowConfig::MAX_TAU {
+        Err(format!(
+            "{flag_name}: τ = {tau} exceeds the supported maximum {} \
+             (a triplet expands to τ + 1 patterns)",
+            FlowConfig::MAX_TAU
+        ))
+    } else {
+        Ok(tau)
+    }
+}
+
+/// Parses a comma-separated τ list as the `fbist sweep`/`figure2` front
+/// ends accept it: values trimmed, each bounded by
+/// [`FlowConfig::MAX_TAU`], duplicates removed (first occurrence wins —
+/// each duplicate would silently repeat the whole covering computation),
+/// order preserved. One shared implementation so every front end
+/// validates identically.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value for an empty list, an
+/// unparsable entry, or a τ over the bound.
+pub fn parse_tau_list(list: &str) -> Result<Vec<usize>, String> {
+    if list.trim().is_empty() {
+        return Err(
+            "--taus: empty τ list (expected comma-separated values, e.g. --taus 0,7,31)".into(),
+        );
+    }
+    let mut taus: Vec<usize> = Vec::new();
+    for s in list.split(',') {
+        let s = s.trim();
+        let tau: usize = s
+            .parse()
+            .map_err(|_| format!("--taus: invalid τ value {s:?}"))?;
+        check_tau("--taus", tau)?;
+        if !taus.contains(&tau) {
+            taus.push(tau);
+        }
+    }
+    Ok(taus)
+}
+
 /// Configuration of the full reseeding flow.
 ///
 /// Construct with [`FlowConfig::new`] and customise with the `with_*`
@@ -161,9 +273,25 @@ pub struct FlowConfig {
     /// or auto). Purely a throughput knob: every engine fills the matrix
     /// bit-identically.
     pub matrix_build: MatrixBuild,
+    /// τ-sweep evaluation engine (one simulation per τ, one shared
+    /// first-detection simulation, or auto). Purely a throughput knob:
+    /// every engine traces the identical curve.
+    pub sweep_engine: SweepEngine,
 }
 
 impl FlowConfig {
+    /// Largest supported evolution length `τ` (2²⁴ − 1 = 16 777 215).
+    ///
+    /// A triplet expands to `τ + 1` patterns, so this caps a single
+    /// triplet's test set at 16 Mi patterns — orders of magnitude beyond
+    /// any BIST schedule — while keeping every downstream quantity safely
+    /// representable: `τ + 1` can never wrap `usize`, per-stream pattern
+    /// indices (the sweep's first-detection indices, the batch planner's
+    /// `LaneGroup::start`) fit comfortably in `u32`, and the ROM τ-field
+    /// stays bounded. [`with_tau`](Self::with_tau) and the `fbist` CLI
+    /// enforce the bound at the configuration boundary.
+    pub const MAX_TAU: usize = (1 << 24) - 1;
+
     /// Default flow for a TPG: `τ = 31`, reductions + exact solver, trim on.
     pub fn new(tpg: TpgKind) -> FlowConfig {
         FlowConfig {
@@ -175,11 +303,24 @@ impl FlowConfig {
             trim: true,
             jobs: 0,
             matrix_build: MatrixBuild::Auto,
+            sweep_engine: SweepEngine::Auto,
         }
     }
 
     /// Sets the evolution length `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` exceeds [`MAX_TAU`](Self::MAX_TAU) — unvalidated
+    /// values this large would otherwise overflow `τ + 1` arithmetic deep
+    /// inside the expansion and batch-planning layers (front ends like
+    /// the CLI reject them with an error instead of panicking).
     pub fn with_tau(mut self, tau: usize) -> FlowConfig {
+        assert!(
+            tau <= Self::MAX_TAU,
+            "τ = {tau} exceeds FlowConfig::MAX_TAU = {}",
+            Self::MAX_TAU
+        );
         self.tau = tau;
         self
     }
@@ -233,6 +374,15 @@ impl FlowConfig {
         self.matrix_build = matrix_build;
         self
     }
+
+    /// Selects the τ-sweep engine ([`SweepEngine::Auto`] shares one
+    /// first-detection simulation whenever the sweep has at least two
+    /// distinct τ values). Like every other engine knob, purely a
+    /// throughput choice: the curve is bit-identical either way.
+    pub fn with_sweep_engine(mut self, sweep_engine: SweepEngine) -> FlowConfig {
+        self.sweep_engine = sweep_engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +428,64 @@ mod tests {
             FlowConfig::new(TpgKind::Adder).matrix_build,
             MatrixBuild::Auto
         );
+    }
+
+    #[test]
+    fn sweep_engine_parse_roundtrip() {
+        for se in [
+            SweepEngine::PerTau,
+            SweepEngine::FirstDetection,
+            SweepEngine::Auto,
+        ] {
+            assert_eq!(SweepEngine::parse(se.name()), Ok(se));
+        }
+        assert!(SweepEngine::parse("pertau").is_err());
+        assert_eq!(
+            FlowConfig::new(TpgKind::Adder).sweep_engine,
+            SweepEngine::Auto
+        );
+        assert_eq!(
+            FlowConfig::new(TpgKind::Adder)
+                .with_sweep_engine(SweepEngine::FirstDetection)
+                .sweep_engine,
+            SweepEngine::FirstDetection
+        );
+    }
+
+    #[test]
+    fn tau_list_parsing_validates_dedupes_and_keeps_order() {
+        assert_eq!(parse_tau_list("7, 0,7,3 ,0"), Ok(vec![7, 0, 3]));
+        assert_eq!(
+            parse_tau_list(&format!("0,{}", FlowConfig::MAX_TAU)),
+            Ok(vec![0, FlowConfig::MAX_TAU])
+        );
+        assert!(parse_tau_list(" ").unwrap_err().contains("empty τ list"));
+        assert!(parse_tau_list("1,,2")
+            .unwrap_err()
+            .contains("invalid τ value"));
+        assert!(parse_tau_list(&format!("{}", FlowConfig::MAX_TAU + 1))
+            .unwrap_err()
+            .contains("exceeds the supported maximum"));
+        // the boundary is exact, and the flag name lands in the message
+        assert_eq!(
+            check_tau("--tau", FlowConfig::MAX_TAU),
+            Ok(FlowConfig::MAX_TAU)
+        );
+        assert!(check_tau("--tau", FlowConfig::MAX_TAU + 1)
+            .unwrap_err()
+            .starts_with("--tau:"));
+    }
+
+    #[test]
+    fn max_tau_is_accepted() {
+        let cfg = FlowConfig::new(TpgKind::Adder).with_tau(FlowConfig::MAX_TAU);
+        assert_eq!(cfg.tau, FlowConfig::MAX_TAU);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds FlowConfig::MAX_TAU")]
+    fn over_max_tau_panics() {
+        let _ = FlowConfig::new(TpgKind::Adder).with_tau(FlowConfig::MAX_TAU + 1);
     }
 
     #[test]

@@ -51,11 +51,11 @@ mod sweep;
 mod verify;
 
 pub use area::{rom_bits_per_triplet, solution_rom_bits, AreaModel};
-pub use builder::{InitialReseeding, InitialReseedingBuilder};
-pub use config::{FlowConfig, MatrixBuild, TpgKind};
-pub use fbist_setcover::Backend;
+pub use builder::{AtpgBase, InitialReseeding, InitialReseedingBuilder};
+pub use config::{check_tau, parse_tau_list, FlowConfig, MatrixBuild, SweepEngine, TpgKind};
+pub use fbist_setcover::{Backend, FirstDetectionMatrix};
 pub use flow::ReseedingFlow;
 pub use gatsby::{Gatsby, GatsbyConfig, GatsbyResult};
 pub use report::{ReseedingReport, SelectedTriplet};
-pub use sweep::{tradeoff_sweep, SweepPoint};
+pub use sweep::{tradeoff_sweep, tradeoff_sweep_from_base, tradeoff_sweep_with, SweepPoint};
 pub use verify::{verify_against, verify_report, Verification};

@@ -90,8 +90,18 @@ impl BatchPlan {
     /// Plans shared blocks for rows of the given pattern-stream lengths,
     /// concatenating streams in row order. Zero-length rows occupy no
     /// lanes (they simply detect nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total lane count overflows `usize` (callers building
+    /// rows from `τ + 1`-pattern expansions are bounded long before this
+    /// by `FlowConfig::MAX_TAU`, but the planner checks rather than
+    /// wrapping silently in release builds).
     pub fn new(row_lengths: &[usize]) -> BatchPlan {
-        let total_lanes: usize = row_lengths.iter().sum();
+        let total_lanes: usize = row_lengths
+            .iter()
+            .try_fold(0usize, |acc, &len| acc.checked_add(len))
+            .expect("BatchPlan: total lane count overflows usize");
         let mut blocks = Vec::with_capacity(total_lanes.div_ceil(pack::BLOCK));
         let mut cur = BatchBlock {
             groups: Vec::new(),

@@ -83,4 +83,4 @@ mod sim;
 pub use batch::{BatchBlock, BatchPlan, LaneGroup};
 pub use checkpoint::checkpoint_faults;
 pub use model::{Fault, FaultId, FaultList, FaultSite};
-pub use sim::{FaultSimResult, FaultSimulator};
+pub use sim::{merge_first_detections, FaultSimResult, FaultSimulator};

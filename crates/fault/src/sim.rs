@@ -279,6 +279,41 @@ impl FaultSimulator {
         rows: &[Vec<BitVec>],
         faults: &FaultList,
     ) -> Vec<(usize, BitVec)> {
+        self.blocks_sweep(
+            plan,
+            range,
+            rows,
+            faults,
+            || BitVec::zeros(faults.len()),
+            |partial, fi| !partial.get(fi),
+            |partial, fi, _first_idx| partial.set(fi, true),
+        )
+    }
+
+    /// The shared block loop of both batched engines: packs each shared
+    /// block, evaluates the good circuit once, builds every fault's
+    /// masked-dropping lane mask from the rows `alive` still admits,
+    /// propagates only when the mask is nonzero, and reports each hit
+    /// group to `record` together with the row-local index of its lowest
+    /// detecting lane (= the group's earliest hit pattern).
+    ///
+    /// [`detects_blocks`](Self::detects_blocks) and
+    /// [`first_detections_blocks`](Self::first_detections_blocks) are
+    /// both this loop with different partials, so their packing,
+    /// occupancy accounting, masked dropping and lane attribution cannot
+    /// drift apart — which is half of the first-detection engine's
+    /// bit-identity contract.
+    #[allow(clippy::too_many_arguments)]
+    fn blocks_sweep<P>(
+        &self,
+        plan: &BatchPlan,
+        range: Range<usize>,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+        new_partial: impl Fn() -> P,
+        alive: impl Fn(&P, usize) -> bool,
+        mut record: impl FnMut(&mut P, usize, u32),
+    ) -> Vec<(usize, P)> {
         let blocks = &plan.blocks()[range];
         if blocks.is_empty() {
             return Vec::new();
@@ -291,7 +326,7 @@ impl FaultSimulator {
             .last()
             .expect("nonempty")
             .row as usize;
-        let mut partial = vec![BitVec::zeros(faults.len()); last_row - first_row + 1];
+        let mut partial: Vec<P> = (first_row..=last_row).map(|_| new_partial()).collect();
 
         let n = self.netlist().gate_count();
         let mut good = vec![0u64; n];
@@ -314,7 +349,7 @@ impl FaultSimulator {
                 let fi = fid.index();
                 let mut mask = 0u64;
                 for g in &block.groups {
-                    if !partial[g.row as usize - first_row].get(fi) {
+                    if alive(&partial[g.row as usize - first_row], fi) {
                         mask |= g.mask();
                     }
                 }
@@ -326,8 +361,13 @@ impl FaultSimulator {
                     continue;
                 }
                 for g in &block.groups {
-                    if det & g.mask() != 0 {
-                        partial[g.row as usize - first_row].set(fi, true);
+                    let hit = det & g.mask();
+                    if hit != 0 {
+                        // the mask only admitted alive rows, and lanes
+                        // ascend in stream order, so the lowest set lane
+                        // is the group's earliest hit pattern
+                        let first_idx = g.start + (hit.trailing_zeros() - g.lane_offset as u32);
+                        record(&mut partial[g.row as usize - first_row], fi, first_idx);
                     }
                 }
             }
@@ -335,8 +375,97 @@ impl FaultSimulator {
         partial
             .into_iter()
             .enumerate()
-            .map(|(i, bits)| (first_row + i, bits))
+            .map(|(i, p)| (first_row + i, p))
             .collect()
+    }
+
+    /// Sentinel first-detection index: the pair was never detected.
+    ///
+    /// Used by [`first_detections`](Self::first_detections) and
+    /// [`first_detections_blocks`](Self::first_detections_blocks) instead
+    /// of `Option<u32>` so partials can be merged with a plain elementwise
+    /// `min` (the sentinel is the identity of `min`). Real pattern indices
+    /// are always `< u32::MAX`; the flow layer bounds `τ` far below that
+    /// (`FlowConfig::MAX_TAU`).
+    pub const NO_DETECTION: u32 = u32::MAX;
+
+    /// Cross-row batched *first-detection* simulation: for every row and
+    /// every fault, the index (within the row's own pattern stream) of the
+    /// **earliest** pattern that detects the fault, or
+    /// [`NO_DETECTION`](Self::NO_DETECTION).
+    ///
+    /// This is the engine behind the single-simulation τ-sweep: detection
+    /// at evolution length `τ` is a prefix property — row `i` detects
+    /// fault `j` at `τ` iff `first[i][j] ≤ τ` — so one pass at the largest
+    /// `τ` yields every smaller τ's detection matrix by thresholding.
+    ///
+    /// The index costs nothing extra on top of
+    /// [`detects_batch`](Self::detects_batch): lanes of a [`LaneGroup`]
+    /// carry the row's patterns in ascending stream order and blocks are
+    /// visited in ascending stream order, so the *lowest set lane* of the
+    /// first nonzero masked detection word **is** the first detection —
+    /// exactly the lane masked dropping stops at anyway.
+    ///
+    /// Equivalence: `first_detections(rows, f)[i][j] != NO_DETECTION` iff
+    /// `detects_batch(rows, f)[i]` has bit `j` set, and the index equals
+    /// `run(&rows[i], f).first_detection[j]`.
+    ///
+    /// [`LaneGroup`]: crate::LaneGroup
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the input count.
+    pub fn first_detections(&self, rows: &[Vec<BitVec>], faults: &FaultList) -> Vec<Vec<u32>> {
+        let lengths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
+        let plan = BatchPlan::new(&lengths);
+        let mut out = vec![vec![Self::NO_DETECTION; faults.len()]; rows.len()];
+        merge_first_detections(
+            &mut out,
+            self.first_detections_blocks(&plan, 0..plan.block_count(), rows, faults),
+        );
+        out
+    }
+
+    /// Simulates a consecutive range of a [`BatchPlan`]'s blocks and
+    /// returns `(row, first_indices)` partials: for each row with lane
+    /// groups in the range, the earliest detecting pattern index *within
+    /// the range* per fault ([`NO_DETECTION`](Self::NO_DETECTION) if the
+    /// range detects nothing for that pair).
+    ///
+    /// Merging partials with an elementwise `min` recovers
+    /// [`first_detections`](Self::first_detections) for **any** partition
+    /// of the block axis: the global first detection is the minimum over
+    /// the per-range first detections (`min` is associative, commutative
+    /// and has `NO_DETECTION` as identity), which is what lets callers fan
+    /// ranges out across a worker pool without changing a single index.
+    ///
+    /// Masked dropping applies exactly as in
+    /// [`detects_blocks`](Self::detects_blocks): once a row's first index
+    /// for a fault is fixed inside the range, later blocks can only offer
+    /// larger indices (lanes ascend in stream order), so skipping them
+    /// cannot change the minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for the plan, a row referenced
+    /// by the plan is missing from `rows`, or a pattern's width differs
+    /// from the input count.
+    pub fn first_detections_blocks(
+        &self,
+        plan: &BatchPlan,
+        range: Range<usize>,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+    ) -> Vec<(usize, Vec<u32>)> {
+        self.blocks_sweep(
+            plan,
+            range,
+            rows,
+            faults,
+            || vec![Self::NO_DETECTION; faults.len()],
+            |partial, fi| partial[fi] == Self::NO_DETECTION,
+            |partial, fi, first_idx| partial[fi] = first_idx,
+        )
     }
 
     /// Builds the full pattern × fault detection dictionary (no dropping):
@@ -458,6 +587,34 @@ impl FaultSimulator {
             }
         }
         det
+    }
+}
+
+/// Merges `(row, partial)` first-detection results into `acc` by
+/// elementwise `min` — the one owner of the first-detection merge
+/// semantics, used by [`FaultSimulator::first_detections`] and by callers
+/// that fan [`FaultSimulator::first_detections_blocks`] ranges out across
+/// a worker pool themselves. `min` is associative and commutative with
+/// [`FaultSimulator::NO_DETECTION`] as identity, so any partition and any
+/// merge order yield the same indices.
+///
+/// # Panics
+///
+/// Panics if a partial names a row `acc` does not have or differs from
+/// its `acc` row in width.
+pub fn merge_first_detections(
+    acc: &mut [Vec<u32>],
+    partials: impl IntoIterator<Item = (usize, Vec<u32>)>,
+) {
+    for (row, partial) in partials {
+        assert_eq!(
+            partial.len(),
+            acc[row].len(),
+            "first-detection partial for row {row} differs from the accumulator in width"
+        );
+        for (a, v) in acc[row].iter_mut().zip(&partial) {
+            *a = (*a).min(*v);
+        }
     }
 }
 
@@ -690,6 +847,94 @@ mod tests {
         assert_eq!(batched.len(), rows.len());
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(batched[i], sim.detects(row, &faults), "row {i}");
+        }
+    }
+
+    #[test]
+    fn first_detections_match_per_row_run() {
+        // same mixed row shapes as the detects_batch test: empty,
+        // sub-block, straddling and multi-block rows
+        let n = embedded::adder4();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut pat = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            BitVec::from_u64(9, state)
+        };
+        let rows: Vec<Vec<BitVec>> = [0usize, 4, 1, 60, 130, 7, 0, 64, 33]
+            .iter()
+            .map(|&len| (0..len).map(|_| pat()).collect())
+            .collect();
+        let batched = sim.first_detections(&rows, &faults);
+        assert_eq!(batched.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let per_row = sim.run(row, &faults);
+            for (fid, _f) in faults.iter() {
+                let expect = per_row.first_detection[fid.index()]
+                    .map_or(FaultSimulator::NO_DETECTION, |v| v);
+                assert_eq!(batched[i][fid.index()], expect, "row {i} fault {fid:?}");
+            }
+            // and the thresholded view agrees with plain detection
+            let detected = sim.detects(row, &faults);
+            for (f, &first) in batched[i].iter().enumerate() {
+                assert_eq!(
+                    first != FaultSimulator::NO_DETECTION,
+                    detected.get(f),
+                    "row {i} fault {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_detections_blocks_min_merge_is_partition_invariant() {
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let rows: Vec<Vec<BitVec>> = (0..9)
+            .map(|r| (0..23u64).map(|v| BitVec::from_u64(5, v * 7 + r)).collect())
+            .collect();
+        let plan = BatchPlan::new(&[23; 9]);
+        let whole = sim.first_detections(&rows, &faults);
+        for chunk in [1usize, 2, 3] {
+            let mut out = vec![vec![FaultSimulator::NO_DETECTION; faults.len()]; rows.len()];
+            let mut lo = 0;
+            while lo < plan.block_count() {
+                let hi = (lo + chunk).min(plan.block_count());
+                merge_first_detections(
+                    &mut out,
+                    sim.first_detections_blocks(&plan, lo..hi, &rows, &faults),
+                );
+                lo = hi;
+            }
+            assert_eq!(out, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn first_detections_agree_with_dictionary() {
+        // the batched first index must be the row-local index of the first
+        // 1-cell in the exhaustive (no-dropping) dictionary
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let rows: Vec<Vec<BitVec>> = (0..5)
+            .map(|r| (0..13u64).map(|v| BitVec::from_u64(5, v * 3 + r)).collect())
+            .collect();
+        let firsts = sim.first_detections(&rows, &faults);
+        for (i, row) in rows.iter().enumerate() {
+            let dict = sim.dictionary(row, &faults);
+            for (fid, _f) in faults.iter() {
+                let expect = (0..row.len()).find(|&p| dict.get(p, fid.index()));
+                assert_eq!(
+                    firsts[i][fid.index()],
+                    expect.map_or(FaultSimulator::NO_DETECTION, |v| v as u32),
+                    "row {i} fault {fid:?}"
+                );
+            }
         }
     }
 

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod exact;
+mod first;
 pub mod generate;
 mod greedy;
 mod local;
@@ -74,6 +75,7 @@ mod solution;
 mod sparse;
 
 pub use exact::{ExactConfig, ExactResult, ExactSolver};
+pub use first::FirstDetectionMatrix;
 pub use greedy::{greedy_cover, greedy_cover_with};
 pub use local::{eliminate_redundant, local_search_cover, LocalSearchConfig};
 pub use matrix::DetectionMatrix;

@@ -50,9 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         first.triplets as f64 / last.triplets.max(1) as f64,
         last.test_length as f64 / first.test_length.max(1) as f64
     );
+    // guaranteed at every point: full target-fault coverage. (The triplet
+    // count usually shrinks as τ grows — it does on this instance — but
+    // the greedy/local-search solver does not guarantee monotonicity, so
+    // the example no longer asserts it.)
     assert!(
-        curve.windows(2).all(|w| w[1].triplets <= w[0].triplets),
-        "triplet count must be monotone non-increasing in τ"
+        curve.iter().all(|p| p.report.covers_all_target_faults()),
+        "every sweep point must cover all target faults"
     );
     Ok(())
 }

@@ -54,13 +54,16 @@ pub mod prelude {
     pub use fbist_genbench::generate as genbench_generate;
     pub use fbist_genbench::profile as genbench_profile;
     pub use fbist_netlist::{bench, embedded, full_scan, GateKind, Netlist};
-    pub use fbist_setcover::{solve, Backend, DetectionMatrix, SolveConfig, SparseMatrix};
+    pub use fbist_setcover::{
+        solve, Backend, DetectionMatrix, FirstDetectionMatrix, SolveConfig, SparseMatrix,
+    };
     pub use fbist_sim::{Misr, PackedSimulator, SeqSimulator};
     pub use fbist_tpg::{
         AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, Triplet,
     };
     pub use reseed_core::{
-        tradeoff_sweep, verify_report, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
-        MatrixBuild, ReseedingFlow, ReseedingReport, TpgKind,
+        tradeoff_sweep, tradeoff_sweep_from_base, tradeoff_sweep_with, verify_report, AtpgBase,
+        FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder, MatrixBuild, ReseedingFlow,
+        ReseedingReport, SweepEngine, TpgKind,
     };
 }

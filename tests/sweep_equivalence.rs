@@ -1,0 +1,179 @@
+//! Differential suite pinning the first-detection τ-sweep engine to the
+//! per-τ one.
+//!
+//! For **every** genbench profile (scaled to a small, fast gate budget —
+//! the thresholding machinery is identical at every size), a TPG from
+//! each family (accumulator-based `add`, LFSR-based `lfsr`),
+//! `jobs ∈ {1, 4}` and both covering backends, the first-detection sweep
+//! must produce a curve **byte-for-byte identical** to the per-τ sweep's
+//! — every [`SweepPoint`] including its full report — on a τ list that is
+//! deliberately unsorted and duplicated. This is the sweep-level sibling
+//! of the `parallel_equivalence` (jobs), `sparse_dense_equivalence`
+//! (backend) and `batched_matrix_equivalence` (matrix engine) contracts:
+//! the sweep engine may only change wall-clock time, never a single bit
+//! of any artefact.
+//!
+//! The suite also pins the engine's reason to exist, the ISSUE's
+//! acceptance criterion verbatim: on `mid256` at full scale with
+//! `--taus 0,3,7,15,31,63`, the first-detection engine reproduces the
+//! per-τ curve byte-for-byte while running **exactly one**
+//! Detection-Matrix simulation pass (the builder's pass counter) and
+//! strictly fewer simulated 64-lane blocks (the `PackedSimulator` lane
+//! counters).
+//!
+//! [`SweepPoint`]: reseed_core::SweepPoint
+
+use fbist_genbench::{all_profiles, generate, CircuitProfile};
+use fbist_netlist::Netlist;
+use set_covering_reseeding::prelude::*;
+
+/// Gate budget for the per-profile equivalence half: exercises every
+/// interface shape while staying test-fast.
+const GATE_BUDGET: f64 = 70.0;
+
+/// Deliberately unsorted, duplicated τ list: the first-detection engine
+/// must dedupe, simulate once at max = 15, and still emit one point per
+/// input τ in input order.
+const TAUS: [usize; 4] = [7, 0, 3, 3];
+
+fn small(p: &CircuitProfile) -> Netlist {
+    let n = generate(&p.scaled((GATE_BUDGET / p.gates as f64).min(1.0)), 1);
+    if n.is_combinational() {
+        n
+    } else {
+        full_scan(&n).into_combinational()
+    }
+}
+
+/// Per-τ vs first-detection vs auto, byte-for-byte, across jobs ×
+/// backend, for one profile and TPG.
+fn assert_sweeps_equivalent(netlist: &Netlist, tpg: TpgKind, label: &str) {
+    for jobs in [1usize, 4] {
+        for backend in [Backend::Dense, Backend::Sparse] {
+            let curve = |engine: SweepEngine| {
+                tradeoff_sweep(
+                    netlist,
+                    &FlowConfig::new(tpg)
+                        .with_jobs(jobs)
+                        .with_backend(backend)
+                        .with_sweep_engine(engine),
+                    &TAUS,
+                )
+                .unwrap()
+            };
+            let per_tau = curve(SweepEngine::PerTau);
+            assert_eq!(per_tau.len(), TAUS.len(), "{label}");
+            assert_eq!(
+                per_tau,
+                curve(SweepEngine::FirstDetection),
+                "{label} jobs={jobs} backend={backend:?}: first-detection \
+                 curve differs from per-τ"
+            );
+            assert_eq!(
+                per_tau,
+                curve(SweepEngine::Auto),
+                "{label} jobs={jobs} backend={backend:?}: auto curve differs"
+            );
+        }
+    }
+}
+
+macro_rules! sweep_equivalence_tests {
+    ($($test:ident => $profile:literal),+ $(,)?) => {$(
+        mod $test {
+            use super::*;
+
+            #[test]
+            fn add() {
+                let p = genbench_profile($profile).expect("profile registered");
+                assert_sweeps_equivalent(&small(&p), TpgKind::Adder, $profile);
+            }
+
+            #[test]
+            fn lfsr() {
+                let p = genbench_profile($profile).expect("profile registered");
+                assert_sweeps_equivalent(&small(&p), TpgKind::Lfsr, $profile);
+            }
+        }
+    )+};
+}
+
+// one module per profile so the harness runs them in parallel
+sweep_equivalence_tests! {
+    sweep_c499 => "c499",
+    sweep_c880 => "c880",
+    sweep_c1355 => "c1355",
+    sweep_c1908 => "c1908",
+    sweep_c7552 => "c7552",
+    sweep_s420 => "s420",
+    sweep_s641 => "s641",
+    sweep_s820 => "s820",
+    sweep_s838 => "s838",
+    sweep_s953 => "s953",
+    sweep_s1238 => "s1238",
+    sweep_s1423 => "s1423",
+    sweep_s5378 => "s5378",
+    sweep_s9234 => "s9234",
+    sweep_s13207 => "s13207",
+    sweep_s15850 => "s15850",
+    sweep_tiny64 => "tiny64",
+    sweep_mid256 => "mid256",
+    sweep_big3500 => "big3500",
+    sweep_xl7000 => "xl7000",
+}
+
+#[test]
+fn sweep_macro_covers_every_profile() {
+    // fail loudly if a profile is ever added without a sweep test
+    assert_eq!(all_profiles().len(), 20, "update sweep_equivalence_tests!");
+}
+
+/// The acceptance criterion, end to end on `mid256` at full scale:
+/// `--taus 0,3,7,15,31,63` with the first-detection engine is
+/// byte-identical to the per-τ engine while performing exactly one matrix
+/// simulation pass and evaluating strictly fewer 64-lane blocks.
+#[test]
+fn mid256_first_detection_single_pass_and_fewer_blocks() {
+    let n = generate(&genbench_profile("mid256").unwrap(), 1);
+    let taus = [0usize, 3, 7, 15, 31, 63];
+    let flow = ReseedingFlow::new(&n).unwrap();
+    let sim = flow.builder().fault_simulator().good_simulator();
+
+    flow.builder().reset_matrix_sim_passes();
+    sim.reset_occupancy();
+    let per_tau = tradeoff_sweep_with(
+        &flow,
+        &FlowConfig::new(TpgKind::Adder).with_sweep_engine(SweepEngine::PerTau),
+        &taus,
+    );
+    let pt_passes = flow.builder().matrix_sim_passes();
+    let pt_occupancy = sim.occupancy();
+    assert_eq!(pt_passes, taus.len() as u64, "per-τ: one pass per point");
+
+    flow.builder().reset_matrix_sim_passes();
+    sim.reset_occupancy();
+    let first_detection = tradeoff_sweep_with(
+        &flow,
+        &FlowConfig::new(TpgKind::Adder).with_sweep_engine(SweepEngine::FirstDetection),
+        &taus,
+    );
+    let fd_passes = flow.builder().matrix_sim_passes();
+    let fd_occupancy = sim.occupancy();
+
+    assert_eq!(
+        per_tau, first_detection,
+        "first-detection curve must be byte-identical to per-τ"
+    );
+    assert_eq!(
+        fd_passes, 1,
+        "first-detection must run exactly one matrix simulation pass"
+    );
+    // the per-point trimming simulations are identical on both sides
+    // (identical reports), so the strict block gap is pure matrix work
+    assert!(
+        fd_occupancy.blocks < pt_occupancy.blocks,
+        "first-detection evaluated {} blocks, per-τ {} — expected strictly fewer",
+        fd_occupancy.blocks,
+        pt_occupancy.blocks
+    );
+}
