@@ -1,0 +1,86 @@
+//! Cold vs. warm artifact-store sweeps — the cache's reason to exist.
+//!
+//! For `mid256` and `big3500` at `jobs = 1`, over the default `fbist
+//! sweep` τ list, two measurements per circuit:
+//!
+//! * `store_sweep/cold/…` — an *empty* store every iteration (deleted and
+//!   reopened inside the timed body): the full pipeline — ATPG, one
+//!   shared first-detection simulation, per-τ solve/trim — plus the
+//!   write-back overhead of populating the store;
+//! * `store_sweep/warm/…` — a store already holding every cover artifact:
+//!   the sweep decodes its answers and simulates nothing
+//!   (`matrix_sim_passes == 0`, asserted before timing).
+//!
+//! Warm answers are byte-identical to cold ones (also asserted before a
+//! single iteration is timed), so the ratio is pure time saved. On
+//! `big3500` the cold side pays the ~27 s τ-independent ATPG run plus the
+//! shared simulation pass; the warm side reads a few artifacts from disk
+//! — CI consumes the merged `BENCH_results.json` entries and fails if
+//! warm is ever less than 10× faster than cold (the ISSUE's acceptance
+//! floor; locally the gap is orders of magnitude).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbist_bench::build_circuit;
+use fbist_genbench::profile;
+use fbist_store::ArtifactStore;
+use reseed_core::{tradeoff_sweep_with, FlowConfig, ReseedingFlow, TpgKind};
+
+/// The `fbist sweep` default τ list.
+const TAUS: [usize; 8] = [0, 3, 7, 15, 31, 63, 127, 255];
+
+fn bench_store_roundtrip(c: &mut Criterion) {
+    for name in ["mid256", "big3500"] {
+        let p = profile(name).expect("profile registered");
+        let netlist = build_circuit(&p, 1);
+        let dir =
+            std::env::temp_dir().join(format!("fbist-bench-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FlowConfig::new(TpgKind::Adder).with_jobs(1);
+
+        // correctness gate before timing anything: the warm curve is
+        // byte-identical to the cold one and simulates nothing
+        let store = ArtifactStore::open(&dir).expect("temp store opens");
+        let cold_flow = ReseedingFlow::with_store(&netlist, store.clone()).unwrap();
+        let cold_curve = tradeoff_sweep_with(&cold_flow, &cfg, &TAUS);
+        let warm_flow = ReseedingFlow::with_store(&netlist, store).unwrap();
+        let warm_curve = tradeoff_sweep_with(&warm_flow, &cfg, &TAUS);
+        assert_eq!(
+            cold_curve, warm_curve,
+            "{name}: warm sweep must be byte-identical to cold"
+        );
+        assert_eq!(
+            warm_flow.builder().matrix_sim_passes(),
+            0,
+            "{name}: warm sweep must not simulate"
+        );
+        assert!(
+            warm_flow.stages().stats().fully_warm(),
+            "{name}: warm sweep must not run ATPG"
+        );
+
+        let mut group = c.benchmark_group("store_sweep");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("cold", name), &(), |b, _| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                let store = ArtifactStore::open(&dir).expect("temp store opens");
+                let flow = ReseedingFlow::with_store(&netlist, store).unwrap();
+                tradeoff_sweep_with(&flow, &cfg, &TAUS)
+            })
+        });
+        // the last cold iteration left the store fully written — warm
+        // iterations read it through a fresh flow each time
+        group.bench_with_input(BenchmarkId::new("warm", name), &(), |b, _| {
+            b.iter(|| {
+                let store = ArtifactStore::open(&dir).expect("temp store opens");
+                let flow = ReseedingFlow::with_store(&netlist, store).unwrap();
+                tradeoff_sweep_with(&flow, &cfg, &TAUS)
+            })
+        });
+        group.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_store_roundtrip);
+criterion_main!(benches);

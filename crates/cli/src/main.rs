@@ -8,6 +8,7 @@
 //! fbist sweep <file.bench|profile> [--tpg KIND] [--taus 0,7,31,...]
 //! fbist compare <file.bench|profile> [--tpg KIND] [--tau N]
 //! fbist lp <file.bench|profile> [--tpg KIND] [--tau N]
+//! fbist serve [--store DIR]
 //! fbist profiles
 //! ```
 //!
@@ -24,6 +25,13 @@
 //! per-tau|first-detection|auto` to pick how the τ-sweep is evaluated
 //! (per-τ re-simulation vs. one shared first-detection pass) — results
 //! are identical for every job count, backend and engine.
+//!
+//! `reseed`, `sweep` and `serve` additionally accept `--store DIR` (also
+//! via the `FBIST_STORE` environment variable; `--no-store` overrides
+//! both) to attach the content-addressed artifact store: finished stages
+//! are answered from disk when their keyed inputs match, byte-identically
+//! to computing them. Store hit/miss statistics go to stderr so stdout
+//! stays diffable.
 
 use std::process::ExitCode;
 
@@ -32,10 +40,13 @@ use fbist_fault::FaultList;
 use fbist_genbench::{all_profiles, generate, profile};
 use fbist_netlist::{bench, full_scan, Netlist, NetlistStats};
 use fbist_setcover::lp;
+use fbist_store::ArtifactStore;
 use reseed_core::{
-    export, tradeoff_sweep, Backend, FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder,
-    MatrixBuild, ReseedingFlow, SweepEngine, TpgKind,
+    export, tradeoff_sweep_with, Backend, FlowConfig, Gatsby, GatsbyConfig,
+    InitialReseedingBuilder, MatrixBuild, ReseedingFlow, SweepEngine, TpgKind,
 };
+
+mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +72,7 @@ usage:
   fbist sweep <circuit> [--tpg KIND] [--taus 0,7,31] [--scale F]
   fbist compare <circuit> [--tpg KIND] [--tau N] [--scale F]
   fbist lp <circuit> [--tpg KIND] [--tau N] [--scale F]
+  fbist serve [--store DIR]
 
 <circuit> is resolved as: an explicit .bench path (`.bench` suffix or a
 path separator), else a built-in profile name, else an embedded circuit.
@@ -76,7 +88,15 @@ whenever sharing 64-lane blocks across rows saves block evaluations) and
 --sweep-engine per-tau|first-detection|auto (τ-sweep evaluation; auto
 shares one first-detection simulation across all τ points whenever there
 are at least two). Results are identical for every job count, backend
-and engine.";
+and engine.
+reseed, sweep and serve accept --store DIR (default: the FBIST_STORE
+environment variable) to cache finished stages in a content-addressed
+artifact store, and --no-store to force recomputation; cached answers
+are byte-identical to computed ones. serve reads line-delimited
+`reseed ...`/`sweep ...` requests from stdin (blank line or `flush`
+evaluates the batch, `quit` or EOF exits), answers `ok <id> ...` /
+`err <id> ...` on stdout in submission order, and reports per-request
+store statistics on stderr.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -99,6 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(rest),
         "compare" => cmd_compare(rest),
         "lp" => cmd_lp(rest),
+        "serve" => serve::cmd_serve(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -140,6 +161,74 @@ fn parse_sweep_engine(args: &[String]) -> Result<SweepEngine, String> {
     match flag(args, "--sweep-engine") {
         None => Ok(SweepEngine::Auto),
         Some(v) => SweepEngine::parse(&v),
+    }
+}
+
+/// Resolves the artifact store: `--no-store` disables it outright,
+/// `--store DIR` opens (creating if needed) the given directory, else the
+/// `FBIST_STORE` environment variable supplies the directory, else no
+/// store. Open failures — the path is a file, the directory cannot be
+/// created or written — surface as clear errors instead of a silently
+/// cold cache.
+fn resolve_store(args: &[String]) -> Result<Option<ArtifactStore>, String> {
+    resolve_store_from(args, std::env::var("FBIST_STORE").ok())
+}
+
+fn resolve_store_from(
+    args: &[String],
+    env: Option<String>,
+) -> Result<Option<ArtifactStore>, String> {
+    if args.iter().any(|a| a == "--no-store") {
+        return Ok(None);
+    }
+    let dir = match flag(args, "--store") {
+        Some(d) => {
+            if d.starts_with("--") {
+                return Err(format!("--store expects a directory, got flag {d:?}"));
+            }
+            Some(d)
+        }
+        None => {
+            if args.iter().any(|a| a == "--store") {
+                return Err("--store expects a directory argument".into());
+            }
+            env.filter(|s| !s.is_empty())
+        }
+    };
+    match dir {
+        None => Ok(None),
+        Some(d) => ArtifactStore::open(std::path::Path::new(&d))
+            .map(Some)
+            .map_err(|e| format!("opening artifact store: {e}")),
+    }
+}
+
+/// Builds a flow with the store from `args` attached (if any).
+fn flow_for(args: &[String], netlist: &Netlist) -> Result<ReseedingFlow, String> {
+    match resolve_store(args)? {
+        Some(store) => ReseedingFlow::with_store(netlist, store),
+        None => ReseedingFlow::new(netlist),
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// Per-run store statistics, on stderr so stdout stays diffable between
+/// cold and warm runs. Silent when no store is attached.
+fn print_store_stats(flow: &ReseedingFlow) {
+    let stages = flow.stages();
+    if let Some(store) = stages.store() {
+        let s = stages.stats();
+        eprintln!(
+            "fbist: store {}: cover {}/{}, first-detection {}/{}, atpg {}/{} (hits/misses), matrix_sim_passes={}",
+            store.root().display(),
+            s.cover_hits,
+            s.cover_misses,
+            s.first_detection_hits,
+            s.first_detection_misses,
+            s.atpg_hits,
+            s.atpg_misses,
+            flow.builder().matrix_sim_passes()
+        );
     }
 }
 
@@ -317,8 +406,9 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
         .with_tau(tau)
         .with_backend(parse_backend(args)?)
         .with_matrix_build(parse_matrix_build(args)?);
-    let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
+    let flow = flow_for(args, &n)?;
     let report = flow.run(&cfg);
+    print_store_stats(&flow);
     if let Some(path) = flag(args, "--csv") {
         std::fs::write(&path, export::to_csv(&report))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -379,7 +469,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .with_backend(parse_backend(args)?)
         .with_matrix_build(parse_matrix_build(args)?)
         .with_sweep_engine(parse_sweep_engine(args)?);
-    let curve = tradeoff_sweep(&n, &cfg, &taus).map_err(|e| e.to_string())?;
+    let flow = flow_for(args, &n)?;
+    let curve = tradeoff_sweep_with(&flow, &cfg, &taus);
+    print_store_stats(&flow);
     println!(
         "{} [{}] — reseedings vs. test length (Figure 2)",
         n.name(),
@@ -515,5 +607,72 @@ mod tests {
             parse_taus(&args(&[])),
             Ok(vec![0, 3, 7, 15, 31, 63, 127, 255])
         );
+    }
+
+    #[test]
+    fn no_store_beats_both_flag_and_env() {
+        assert!(resolve_store_from(&args(&["--no-store"]), None)
+            .unwrap()
+            .is_none());
+        assert!(
+            resolve_store_from(&args(&["--no-store", "--store", "/tmp/x"]), None)
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            resolve_store_from(&args(&["--no-store"]), Some("/tmp/x".into()))
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn absent_store_flag_falls_back_to_env_then_none() {
+        assert!(resolve_store_from(&args(&[]), None).unwrap().is_none());
+        assert!(resolve_store_from(&args(&[]), Some(String::new()))
+            .unwrap()
+            .is_none());
+        let dir = std::env::temp_dir().join(format!("fbist-cli-env-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = resolve_store_from(&args(&[]), Some(dir.display().to_string()))
+            .unwrap()
+            .expect("env var must attach a store");
+        assert_eq!(store.root(), dir.as_path());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_flag_creates_and_opens_the_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "fbist-cli-store-{}/nested/deep",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = resolve_store_from(&args(&["--store", &dir.display().to_string()]), None)
+            .unwrap()
+            .expect("--store must attach a store");
+        assert!(dir.is_dir(), "open must create the directory");
+        assert_eq!(store.root(), dir.as_path());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn store_flag_rejects_files_missing_values_and_flags() {
+        // a file where the directory should be → a clear error naming it
+        let file =
+            std::env::temp_dir().join(format!("fbist-cli-store-file-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let err =
+            resolve_store_from(&args(&["--store", &file.display().to_string()]), None).unwrap_err();
+        assert!(
+            err.contains("opening artifact store") && err.contains("not a directory"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(file);
+        // a missing or flag-like value is a usage error, not a store named "--jobs"
+        let err = resolve_store_from(&args(&["--store"]), None).unwrap_err();
+        assert!(err.contains("expects a directory"), "{err}");
+        let err = resolve_store_from(&args(&["--store", "--jobs"]), None).unwrap_err();
+        assert!(err.contains("expects a directory"), "{err}");
     }
 }

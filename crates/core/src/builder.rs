@@ -344,7 +344,7 @@ type BlockRangeSim<'a, T> =
 /// (`seed_for` never reads it) — so triplets derived at different `τ`
 /// differ *only* in their `τ` field, the keystone of the τ-sweep's
 /// derive-don't-resimulate guarantee.
-fn derive_triplets(
+pub(crate) fn derive_triplets(
     tpg: &dyn PatternGenerator,
     patterns: &[BitVec],
     tau: usize,

@@ -3,24 +3,35 @@
 use fbist_netlist::Netlist;
 use fbist_setcover::{reduce_with, solve_with, ReductionEvent};
 use fbist_sim::SimError;
+use fbist_store::ArtifactStore;
 use fbist_tpg::Triplet;
 
 use crate::builder::{InitialReseeding, InitialReseedingBuilder};
 use crate::config::FlowConfig;
 use crate::report::{ReseedingReport, SelectedTriplet};
+use crate::stage::StageCache;
 
 /// The complete set-covering reseeding flow:
 /// ATPG → initial reseeding → Detection Matrix → reduction → exact solve →
 /// trimming → [`ReseedingReport`].
 ///
+/// The flow is a DAG of keyed stages (`netlist → atpg → first-detection →
+/// cover`) resolved through a [`StageCache`]. [`ReseedingFlow::new`]
+/// attaches no store — every stage computes, exactly the historical
+/// behaviour; [`ReseedingFlow::with_store`] answers stages from a
+/// content-addressed [`ArtifactStore`] when their keyed inputs match,
+/// byte-identically to computing them (`tests/store_equivalence.rs`).
+///
 /// See the [crate-level documentation](crate) for a quickstart.
 #[derive(Debug)]
 pub struct ReseedingFlow {
     builder: InitialReseedingBuilder,
+    stages: StageCache,
 }
 
 impl ReseedingFlow {
-    /// Creates a flow for a combinational netlist.
+    /// Creates a flow for a combinational netlist, with no artifact
+    /// store: every stage computes.
     ///
     /// # Errors
     ///
@@ -29,6 +40,22 @@ impl ReseedingFlow {
     pub fn new(netlist: &Netlist) -> Result<Self, SimError> {
         Ok(ReseedingFlow {
             builder: InitialReseedingBuilder::new(netlist)?,
+            stages: StageCache::disabled(),
+        })
+    }
+
+    /// Creates a flow whose stages read and populate `store`. A warm
+    /// store answers the whole `run` from the `cover` artifact without
+    /// simulating anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying engines (sequential or
+    /// invalid netlists).
+    pub fn with_store(netlist: &Netlist, store: ArtifactStore) -> Result<Self, SimError> {
+        Ok(ReseedingFlow {
+            builder: InitialReseedingBuilder::new(netlist)?,
+            stages: StageCache::with_store(store),
         })
     }
 
@@ -38,10 +65,48 @@ impl ReseedingFlow {
         &self.builder
     }
 
-    /// Runs the full flow.
+    /// The stage cache fronting this flow's store (disabled for flows
+    /// built with [`ReseedingFlow::new`]).
+    pub fn stages(&self) -> &StageCache {
+        &self.stages
+    }
+
+    /// Runs the full flow: answered from the `cover` artifact when the
+    /// store holds one under this configuration's key, computed stage by
+    /// stage (each stage checking the store first) otherwise.
     pub fn run(&self, config: &FlowConfig) -> ReseedingReport {
-        let initial = self.builder.build(config);
-        self.finish(config, &initial)
+        if let Some(report) = self.stages.cover_get(self.builder.netlist(), config) {
+            return report;
+        }
+        let initial = self.build_initial(config);
+        let report = self.finish(config, &initial);
+        self.stages
+            .cover_put(self.builder.netlist(), config, &report);
+        report
+    }
+
+    /// The initial reseeding via the stage DAG. Without a store this is
+    /// [`InitialReseedingBuilder::build`] verbatim; with one, the `atpg`
+    /// and `first-detection` stages resolve through the store and the
+    /// matrix at `config.tau` falls out of the saturating
+    /// first-detection artifact by thresholding — bit-identical either
+    /// way (the engine-equivalence contract pinned by the sweep suites).
+    fn build_initial(&self, config: &FlowConfig) -> InitialReseeding {
+        if !self.stages.is_enabled() {
+            return self.builder.build(config);
+        }
+        let base = self.stages.atpg_base(&self.builder, config);
+        let tpg = config.tpg.build(self.builder.netlist().inputs().len());
+        let (triplets, fdm) =
+            self.stages
+                .first_detection(&self.builder, &*tpg, &base, config, config.tau);
+        InitialReseeding {
+            triplets,
+            matrix: fdm.at_tau(config.tau),
+            target_faults: base.target_faults,
+            universe_size: base.universe_size,
+            atpg: base.atpg,
+        }
     }
 
     /// Runs reduction, solving and trimming on a prebuilt initial

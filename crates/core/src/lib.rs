@@ -47,6 +47,7 @@ pub mod export;
 mod flow;
 pub mod gatsby;
 mod report;
+mod stage;
 mod sweep;
 mod verify;
 
@@ -57,5 +58,9 @@ pub use fbist_setcover::{Backend, FirstDetectionMatrix};
 pub use flow::ReseedingFlow;
 pub use gatsby::{Gatsby, GatsbyConfig, GatsbyResult};
 pub use report::{ReseedingReport, SelectedTriplet};
+pub use stage::{
+    atpg_stage_key, circuit_digest, cover_stage_key, first_detection_stage_key,
+    sweep_request_digest, CachedFirstDetection, StageCache, StageStats,
+};
 pub use sweep::{tradeoff_sweep, tradeoff_sweep_from_base, tradeoff_sweep_with, SweepPoint};
 pub use verify::{verify_against, verify_report, Verification};

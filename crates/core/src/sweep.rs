@@ -121,41 +121,99 @@ pub fn tradeoff_sweep_with(
     config: &FlowConfig,
     taus: &[usize],
 ) -> Vec<SweepPoint> {
-    if taus.is_empty() {
-        return Vec::new();
-    }
-    let base = flow.builder().atpg_base(config);
-    tradeoff_sweep_from_base(flow, &base, config, taus)
+    sweep_cached(flow, None, config, taus)
 }
 
 /// The sweep on a prebuilt [`AtpgBase`]: everything after the shared,
 /// τ-independent ATPG run. Callers holding the base already (the
 /// `figure2`/bench pipelines, repeated sweeps over TPG kinds, …) skip
 /// re-running ATPG entirely; [`tradeoff_sweep`] is this plus one
-/// [`InitialReseedingBuilder::atpg_base`] call.
+/// `atpg` stage resolution.
 pub fn tradeoff_sweep_from_base(
     flow: &ReseedingFlow,
     base: &AtpgBase,
     config: &FlowConfig,
     taus: &[usize],
 ) -> Vec<SweepPoint> {
+    sweep_cached(flow, Some(base), config, taus)
+}
+
+/// The one sweep path, cover-cache-first:
+///
+/// 1. each unique τ is looked up in the store as a `cover` artifact —
+///    warm points decode without touching ATPG or the simulator;
+/// 2. only the *missing* τ values are computed, through the usual
+///    engines (the shared first-detection pass now resolving through the
+///    `first-detection` stage, so even a cover-cold sweep can skip its
+///    simulation if an earlier run saturated the matrix artifact);
+/// 3. computed covers are written back, then every point — cached or
+///    computed — redistributes onto the input τ list.
+///
+/// The ATPG stage resolves lazily: a fully cover-warm sweep never runs
+/// ATPG at all (the acceptance criterion behind `fbist serve`'s warm
+/// latency). With no store attached every lookup misses and this is the
+/// historical two-engine sweep, bit for bit.
+fn sweep_cached(
+    flow: &ReseedingFlow,
+    prebuilt: Option<&AtpgBase>,
+    config: &FlowConfig,
+    taus: &[usize],
+) -> Vec<SweepPoint> {
+    if taus.is_empty() {
+        return Vec::new();
+    }
     let mut uniq: Vec<usize> = taus.to_vec();
     uniq.sort_unstable();
     uniq.dedup();
-    let first_detection = match config.sweep_engine {
-        SweepEngine::PerTau => false,
-        SweepEngine::FirstDetection => true,
-        // a single-point sweep has nothing to amortise the shared pass
-        // over; with ≥ 2 distinct τ the shared pass always wins (it costs
-        // one build at max(taus), which per-τ pays for its largest point
-        // alone)
-        SweepEngine::Auto => uniq.len() >= 2,
-    };
-    let points = if first_detection {
-        first_detection_sweep(flow, base, config, &uniq)
-    } else {
-        per_tau_sweep(flow, base, config, &uniq)
-    };
+    let stages = flow.stages();
+    let netlist = flow.builder().netlist();
+    let mut slots: Vec<Option<SweepPoint>> = uniq
+        .iter()
+        .map(|&tau| {
+            stages
+                .cover_get(netlist, &config.clone().with_tau(tau))
+                .map(|report| point_from(tau, report))
+        })
+        .collect();
+    let missing: Vec<usize> = uniq
+        .iter()
+        .zip(&slots)
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(&tau, _)| tau)
+        .collect();
+    if !missing.is_empty() {
+        let computed_base;
+        let base = match prebuilt {
+            Some(base) => base,
+            None => {
+                computed_base = stages.atpg_base(flow.builder(), config);
+                &computed_base
+            }
+        };
+        let first_detection = match config.sweep_engine {
+            SweepEngine::PerTau => false,
+            SweepEngine::FirstDetection => true,
+            // a single-point sweep has nothing to amortise the shared pass
+            // over; with ≥ 2 distinct τ the shared pass always wins (it
+            // costs one build at max(taus), which per-τ pays for its
+            // largest point alone). With a store attached the shared pass
+            // wins even for one point: it seeds the saturating
+            // first-detection artifact that answers every later τ.
+            SweepEngine::Auto => missing.len() >= 2 || stages.is_enabled(),
+        };
+        let computed = if first_detection {
+            first_detection_sweep(flow, base, config, &missing)
+        } else {
+            per_tau_sweep(flow, base, config, &missing)
+        };
+        for point in computed {
+            stages.cover_put(netlist, &config.clone().with_tau(point.tau), &point.report);
+            let i = uniq
+                .binary_search(&point.tau)
+                .expect("computed τ comes from uniq");
+            slots[i] = Some(point);
+        }
+    }
     // one point per *input* τ, in input order; duplicates share their
     // unique point's result (the computation is deterministic, so this is
     // indistinguishable from recomputing — minus the wasted work). Each
@@ -166,7 +224,6 @@ pub fn tradeoff_sweep_from_base(
     for tau in taus {
         remaining[idx_of(tau)] += 1;
     }
-    let mut slots: Vec<Option<SweepPoint>> = points.into_iter().map(Some).collect();
     taus.iter()
         .map(|tau| {
             let i = idx_of(tau);
@@ -213,17 +270,13 @@ fn first_detection_sweep(
         return Vec::new();
     };
     let builder = flow.builder();
-    // unlike the per-τ engine, one shared fault-simulation pass
+    // unlike the per-τ engine, one shared fault-simulation pass —
+    // resolved through the first-detection stage, so a store whose
+    // artifact already saturates τ_max skips the pass entirely
     let tpg = config.tpg.build(builder.netlist().inputs().len());
-    let (triplets_max, fdm) = builder.first_detection_matrix_for(
-        &tpg,
-        &base.atpg.patterns,
-        &base.target_faults,
-        tau_max,
-        config.seed,
-        config.jobs,
-        config.matrix_build,
-    );
+    let (triplets_max, fdm) = flow
+        .stages()
+        .first_detection(builder, &*tpg, base, config, tau_max);
     mini_rayon::par_map_indexed(config.jobs, uniq.len(), |i| {
         let tau = uniq[i];
         // the τ-point's initial reseeding, derived instead of re-simulated:

@@ -1,0 +1,137 @@
+//! Round-trips for the artifacts owned by `reseed-core` — the ATPG base,
+//! the saturating first-detection artifact, and the cover report —
+//! through real flow outputs and through property-generated reports.
+
+use fbist_bits::BitVec;
+use fbist_netlist::embedded;
+use fbist_store::{decode_from_slice, encode_to_vec};
+use fbist_tpg::Triplet;
+use proptest::prelude::*;
+use reseed_core::{
+    AtpgBase, CachedFirstDetection, FlowConfig, InitialReseedingBuilder, ReseedingFlow,
+    ReseedingReport, SelectedTriplet, TpgKind,
+};
+
+#[test]
+fn real_atpg_base_round_trips() {
+    let n = embedded::c17();
+    let builder = InitialReseedingBuilder::new(&n).unwrap();
+    let base = builder.atpg_base(&FlowConfig::new(TpgKind::Adder));
+    let bytes = encode_to_vec(&base);
+    let back: AtpgBase = decode_from_slice(&bytes).unwrap();
+    // AtpgResult has no PartialEq — compare the fields the flow consumes
+    assert_eq!(back.universe_size, base.universe_size);
+    assert_eq!(back.target_faults, base.target_faults);
+    assert_eq!(back.atpg.patterns, base.atpg.patterns);
+    assert_eq!(back.atpg.total_faults, base.atpg.total_faults);
+    assert_eq!(
+        back.atpg.coverage().to_bits(),
+        base.atpg.coverage().to_bits()
+    );
+    assert_eq!(encode_to_vec(&back), bytes, "re-encoding must be stable");
+}
+
+#[test]
+fn real_first_detection_artifact_round_trips() {
+    let n = embedded::c17();
+    let builder = InitialReseedingBuilder::new(&n).unwrap();
+    let config = FlowConfig::new(TpgKind::Adder);
+    let base = builder.atpg_base(&config);
+    let tpg = config.tpg.build(n.inputs().len());
+    let (_, matrix) = builder.first_detection_matrix_for(
+        &*tpg,
+        &base.atpg.patterns,
+        &base.target_faults,
+        15,
+        config.seed,
+        1,
+        config.matrix_build,
+    );
+    let artifact = CachedFirstDetection {
+        tau_max: 15,
+        matrix,
+    };
+    let bytes = encode_to_vec(&artifact);
+    let back: CachedFirstDetection = decode_from_slice(&bytes).unwrap();
+    assert_eq!(back, artifact);
+    assert_eq!(encode_to_vec(&back), bytes);
+}
+
+#[test]
+fn real_cover_report_round_trips() {
+    let n = embedded::c17();
+    let flow = ReseedingFlow::new(&n).unwrap();
+    for tau in [0usize, 7] {
+        let report = flow.run(&FlowConfig::new(TpgKind::Adder).with_tau(tau));
+        let bytes = encode_to_vec(&report);
+        let back: ReseedingReport = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, report, "τ={tau}");
+        assert_eq!(encode_to_vec(&back), bytes, "τ={tau}");
+    }
+}
+
+/// splitmix64 — a deterministic field stream from one proptest seed (the
+/// vendored proptest shim caps tuple strategies, so wide structs derive
+/// their fields from a single `u64` instead).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn arbitrary_report(seed: u64, n_selected: usize, tau: usize) -> ReseedingReport {
+    let mut s = seed;
+    let selected = (0..n_selected)
+        .map(|_| {
+            let w = 1 + (splitmix(&mut s) % 100) as usize;
+            let delta = [splitmix(&mut s), splitmix(&mut s)];
+            let theta = [splitmix(&mut s), splitmix(&mut s)];
+            SelectedTriplet {
+                triplet: Triplet::new(
+                    BitVec::from_words(w, &delta),
+                    BitVec::from_words(w, &theta),
+                    (splitmix(&mut s) % 5_000) as usize,
+                ),
+                necessary: splitmix(&mut s) & 1 == 1,
+                new_faults: (splitmix(&mut s) % 5_000) as usize,
+                test_length: 1 + (splitmix(&mut s) % 5_000) as usize,
+            }
+        })
+        .collect();
+    ReseedingReport {
+        circuit: format!("ckt{}", splitmix(&mut s) % 1_000),
+        tpg: ["add", "lfsr", "mplfsr"][(splitmix(&mut s) % 3) as usize].to_owned(),
+        tau,
+        selected,
+        initial_triplets: (splitmix(&mut s) % 10_000) as usize,
+        target_faults: (splitmix(&mut s) % 10_000) as usize,
+        fault_universe: (splitmix(&mut s) % 20_000) as usize,
+        residual: (
+            (splitmix(&mut s) % 5_000) as usize,
+            (splitmix(&mut s) % 5_000) as usize,
+        ),
+        reduction_iterations: (splitmix(&mut s) % 50) as usize,
+        dominated_rows: (splitmix(&mut s) % 5_000) as usize,
+        solution_optimal: splitmix(&mut s) & 1 == 1,
+        solver_nodes: splitmix(&mut s),
+        covered_faults: (splitmix(&mut s) % 10_000) as usize,
+        atpg_coverage: (splitmix(&mut s) % 1_000_001) as f64 / 1.0e6,
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_cover_reports_round_trip(
+        seed in any::<u64>(),
+        n_selected in 0usize..12,
+        tau in 0usize..1_000_000,
+    ) {
+        let report = arbitrary_report(seed, n_selected, tau);
+        let bytes = encode_to_vec(&report);
+        let back: ReseedingReport = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(&back, &report);
+        prop_assert_eq!(encode_to_vec(&back), bytes);
+    }
+}

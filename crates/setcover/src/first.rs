@@ -123,6 +123,89 @@ impl FirstDetectionMatrix {
         }
     }
 
+    /// Rebuilds a matrix from raw CSR parts — the inverse of
+    /// [`csr_parts`](Self::csr_parts), used by the artifact store to
+    /// deserialise without densifying. Every structural invariant is
+    /// validated, so untrusted (on-disk) bytes fail with a message
+    /// instead of corrupting downstream thresholding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: wrong
+    /// `row_ptr` length or endpoints, non-monotone `row_ptr`, mismatched
+    /// `col_idx`/`first` lengths, columns out of range or not strictly
+    /// ascending within a row, or a stored
+    /// [`NO_DETECTION`](Self::NO_DETECTION) sentinel (never-detected
+    /// pairs must be absent, not stored).
+    pub fn from_csr(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        first: Vec<u32>,
+    ) -> Result<FirstDetectionMatrix, String> {
+        if u32::try_from(cols).is_err() {
+            return Err(format!("{cols} columns do not fit u32"));
+        }
+        if row_ptr.len() != rows + 1 {
+            return Err(format!(
+                "row_ptr has {} entries for {rows} rows (need rows + 1)",
+                row_ptr.len()
+            ));
+        }
+        if row_ptr[0] != 0 {
+            return Err(format!("row_ptr must start at 0, found {}", row_ptr[0]));
+        }
+        if *row_ptr.last().expect("non-empty: rows + 1 ≥ 1") != col_idx.len() {
+            return Err(format!(
+                "row_ptr ends at {} but there are {} entries",
+                row_ptr.last().expect("non-empty"),
+                col_idx.len()
+            ));
+        }
+        if col_idx.len() != first.len() {
+            return Err(format!(
+                "{} columns vs {} first-detection indices",
+                col_idx.len(),
+                first.len()
+            ));
+        }
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            if lo > hi {
+                return Err(format!("row_ptr not monotone at row {r} ({lo} > {hi})"));
+            }
+            let mut prev: Option<u32> = None;
+            for i in lo..hi {
+                let c = col_idx[i];
+                if c as usize >= cols {
+                    return Err(format!("row {r}: column {c} out of range ({cols} columns)"));
+                }
+                if prev.is_some_and(|p| p >= c) {
+                    return Err(format!("row {r}: columns not strictly ascending at {c}"));
+                }
+                if first[i] == Self::NO_DETECTION {
+                    return Err(format!("row {r}, column {c}: stored NO_DETECTION sentinel"));
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(FirstDetectionMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            first,
+        })
+    }
+
+    /// The raw CSR storage `(row_ptr, col_idx, first)` — the exact
+    /// internal representation, for serialisation.
+    /// [`from_csr`](Self::from_csr) round-trips it.
+    pub fn csr_parts(&self) -> (&[usize], &[u32], &[u32]) {
+        (&self.row_ptr, &self.col_idx, &self.first)
+    }
+
     /// Number of rows (triplets).
     pub fn rows(&self) -> usize {
         self.rows
@@ -277,5 +360,94 @@ mod tests {
     #[should_panic(expected = "row 1 has 2 entries but the matrix has 3 columns")]
     fn width_mismatch_panics_with_diagnostic() {
         let _ = FirstDetectionMatrix::from_rows(3, vec![vec![NONE, 1, NONE], vec![0, 1]]);
+    }
+
+    #[test]
+    fn csr_parts_round_trip_through_from_csr() {
+        let m = sample();
+        let (row_ptr, col_idx, first) = m.csr_parts();
+        let back = FirstDetectionMatrix::from_csr(
+            m.rows(),
+            m.cols(),
+            row_ptr.to_vec(),
+            col_idx.to_vec(),
+            first.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, m);
+        // the degenerate empty matrix round-trips too
+        let empty = FirstDetectionMatrix::from_rows(3, Vec::new());
+        let (p, c, f) = empty.csr_parts();
+        let back = FirstDetectionMatrix::from_csr(0, 3, p.to_vec(), c.to_vec(), f.to_vec());
+        assert_eq!(back.unwrap(), empty);
+    }
+
+    #[test]
+    fn from_csr_validates_every_invariant() {
+        let m = sample();
+        let (p, c, f) = m.csr_parts();
+        let (p, c, f) = (p.to_vec(), c.to_vec(), f.to_vec());
+        // wrong row_ptr length
+        assert!(
+            FirstDetectionMatrix::from_csr(2, 4, p.clone(), c.clone(), f.clone())
+                .unwrap_err()
+                .contains("row_ptr")
+        );
+        // bad start
+        let mut bad = p.clone();
+        bad[0] = 1;
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, bad, c.clone(), f.clone())
+                .unwrap_err()
+                .contains("start at 0")
+        );
+        // bad end
+        let mut bad = p.clone();
+        *bad.last_mut().unwrap() += 1;
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, bad, c.clone(), f.clone())
+                .unwrap_err()
+                .contains("ends at")
+        );
+        // non-monotone
+        let mut bad = p.clone();
+        bad[1] = p[2] + 1;
+        bad[2] = p[2];
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, bad, c.clone(), f.clone()).is_err(),
+            "non-monotone row_ptr must be rejected"
+        );
+        // length mismatch between col_idx and first
+        let mut bad = f.clone();
+        bad.pop();
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, p.clone(), c.clone(), bad)
+                .unwrap_err()
+                .contains("first-detection indices")
+        );
+        // column out of range
+        let mut bad = c.clone();
+        bad[0] = 9;
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, p.clone(), bad, f.clone())
+                .unwrap_err()
+                .contains("out of range")
+        );
+        // duplicate / descending columns
+        let mut bad = c.clone();
+        bad[1] = bad[0];
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, p.clone(), bad, f.clone())
+                .unwrap_err()
+                .contains("ascending")
+        );
+        // stored sentinel
+        let mut bad = f.clone();
+        bad[0] = NONE;
+        assert!(
+            FirstDetectionMatrix::from_csr(3, 4, p.clone(), c.clone(), bad)
+                .unwrap_err()
+                .contains("NO_DETECTION")
+        );
     }
 }

@@ -1,0 +1,499 @@
+//! Binary codecs for the workspace's shared artifact types.
+//!
+//! Every codec is exact: `decode(encode(x)) == x`, pinned by the
+//! round-trip proptests in `tests/roundtrip.rs`. Decoders validate
+//! every structural invariant they rebuild (widths, index ranges, CSR
+//! monotonicity, netlist arities) so a corrupt payload is reported as
+//! [`DecodeError::Invalid`] instead of panicking deep inside a consumer.
+
+use fbist_atpg::AtpgResult;
+use fbist_bits::BitVec;
+use fbist_fault::{Fault, FaultId, FaultList, FaultSite};
+use fbist_netlist::{GateId, GateKind, Netlist};
+use fbist_setcover::FirstDetectionMatrix;
+use fbist_tpg::Triplet;
+
+use crate::codec::{DecodeError, Reader, Writer};
+
+/// A type that can live in the store: a stage kind name plus an exact
+/// byte codec.
+///
+/// Implementations compose: a struct's `encode` calls its fields'
+/// `encode`s in order, and `decode` mirrors it. The store wraps the
+/// payload in its own envelope (magic, version, kind, key digest,
+/// checksum), so codecs never need framing of their own.
+pub trait Artifact: Sized {
+    /// The stage-kind directory this artifact type lives under when
+    /// stored at the top level (composed sub-artifacts ignore it).
+    const KIND: &'static str;
+
+    /// Appends the exact byte encoding of `self`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes one value, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated, corrupt, or invariant-violating
+    /// bytes.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+impl Artifact for u64 {
+    const KIND: &'static str = "u64";
+
+    fn encode(&self, w: &mut Writer) {
+        w.u64(*self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u64()
+    }
+}
+
+impl Artifact for BitVec {
+    const KIND: &'static str = "bitvec";
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.width());
+        w.u64_slice(self.as_words());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let width = r.usize()?;
+        let words = r.u64_vec()?;
+        if words.len() != width.div_ceil(64) {
+            return Err(DecodeError::Invalid(format!(
+                "BitVec of width {width} stored with {} words",
+                words.len()
+            )));
+        }
+        // from_words clears unused high bits; encoded vectors are already
+        // normalized, so this is the identity on well-formed payloads
+        Ok(BitVec::from_words(width, &words))
+    }
+}
+
+impl Artifact for Triplet {
+    const KIND: &'static str = "triplet";
+
+    fn encode(&self, w: &mut Writer) {
+        self.delta().encode(w);
+        self.theta().encode(w);
+        w.usize(self.tau());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let delta = BitVec::decode(r)?;
+        let theta = BitVec::decode(r)?;
+        let tau = r.usize()?;
+        if delta.width() != theta.width() {
+            return Err(DecodeError::Invalid(format!(
+                "triplet δ width {} ≠ θ width {}",
+                delta.width(),
+                theta.width()
+            )));
+        }
+        Ok(Triplet::new(delta, theta, tau))
+    }
+}
+
+fn encode_bitvec_list(w: &mut Writer, list: &[BitVec]) {
+    w.usize(list.len());
+    for v in list {
+        v.encode(w);
+    }
+}
+
+fn decode_bitvec_list(r: &mut Reader<'_>) -> Result<Vec<BitVec>, DecodeError> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(r.remaining() / 8));
+    for _ in 0..n {
+        out.push(BitVec::decode(r)?);
+    }
+    Ok(out)
+}
+
+fn encode_fault_ids(w: &mut Writer, ids: &[FaultId]) {
+    w.usize(ids.len());
+    for id in ids {
+        w.u32(id.index() as u32);
+    }
+}
+
+fn decode_fault_ids(r: &mut Reader<'_>) -> Result<Vec<FaultId>, DecodeError> {
+    let n = r.usize()?;
+    let mut out = Vec::with_capacity(n.min(r.remaining() / 4));
+    for _ in 0..n {
+        out.push(FaultId::from_index(r.u32()? as usize));
+    }
+    Ok(out)
+}
+
+impl Artifact for Fault {
+    const KIND: &'static str = "fault";
+
+    fn encode(&self, w: &mut Writer) {
+        match self.site() {
+            FaultSite::GateOutput(g) => {
+                w.u8(0);
+                w.u32(g.index() as u32);
+            }
+            FaultSite::GateInput { gate, pin } => {
+                w.u8(1);
+                w.u32(gate.index() as u32);
+                w.u32(pin);
+            }
+        }
+        w.bool(self.stuck_value());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let site = match r.u8()? {
+            0 => FaultSite::GateOutput(GateId::from_index(r.u32()? as usize)),
+            1 => FaultSite::GateInput {
+                gate: GateId::from_index(r.u32()? as usize),
+                pin: r.u32()?,
+            },
+            other => return Err(DecodeError::Invalid(format!("bad fault-site tag {other}"))),
+        };
+        Ok(Fault::stuck_at(site, r.bool()?))
+    }
+}
+
+impl Artifact for FaultList {
+    const KIND: &'static str = "fault-list";
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for f in self.as_slice() {
+            f.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.usize()?;
+        let mut faults = Vec::with_capacity(n.min(r.remaining() / 6));
+        for _ in 0..n {
+            faults.push(Fault::decode(r)?);
+        }
+        Ok(FaultList::from_faults(faults))
+    }
+}
+
+impl Artifact for AtpgResult {
+    const KIND: &'static str = "atpg-result";
+
+    fn encode(&self, w: &mut Writer) {
+        encode_bitvec_list(w, &self.patterns);
+        self.detected.encode(w);
+        encode_fault_ids(w, &self.untestable);
+        encode_fault_ids(w, &self.aborted);
+        w.usize(self.random_detected);
+        w.usize(self.podem_tests);
+        w.usize(self.total_faults);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let patterns = decode_bitvec_list(r)?;
+        if let Some(w0) = patterns.first().map(BitVec::width) {
+            if patterns.iter().any(|p| p.width() != w0) {
+                return Err(DecodeError::Invalid(
+                    "ATPG patterns have mixed widths".into(),
+                ));
+            }
+        }
+        let detected = BitVec::decode(r)?;
+        let untestable = decode_fault_ids(r)?;
+        let aborted = decode_fault_ids(r)?;
+        let random_detected = r.usize()?;
+        let podem_tests = r.usize()?;
+        let total_faults = r.usize()?;
+        if detected.width() != total_faults {
+            return Err(DecodeError::Invalid(format!(
+                "detected mask is {} bits for {total_faults} faults",
+                detected.width()
+            )));
+        }
+        for id in untestable.iter().chain(&aborted) {
+            if id.index() >= total_faults {
+                return Err(DecodeError::Invalid(format!(
+                    "fault id {} out of range ({total_faults} faults)",
+                    id.index()
+                )));
+            }
+        }
+        Ok(AtpgResult {
+            patterns,
+            detected,
+            untestable,
+            aborted,
+            random_detected,
+            podem_tests,
+            total_faults,
+        })
+    }
+}
+
+impl Artifact for FirstDetectionMatrix {
+    const KIND: &'static str = "first-detection-matrix";
+
+    fn encode(&self, w: &mut Writer) {
+        let (row_ptr, col_idx, first) = self.csr_parts();
+        w.usize(self.rows());
+        w.usize(self.cols());
+        w.usize(row_ptr.len());
+        for &p in row_ptr {
+            w.usize(p);
+        }
+        w.u32_slice(col_idx);
+        w.u32_slice(first);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let rows = r.usize()?;
+        let cols = r.usize()?;
+        let n_ptr = r.usize()?;
+        let mut row_ptr = Vec::with_capacity(n_ptr.min(r.remaining() / 8));
+        for _ in 0..n_ptr {
+            row_ptr.push(r.usize()?);
+        }
+        let col_idx = r.u32_vec()?;
+        let first = r.u32_vec()?;
+        FirstDetectionMatrix::from_csr(rows, cols, row_ptr, col_idx, first)
+            .map_err(DecodeError::Invalid)
+    }
+}
+
+impl Artifact for Netlist {
+    const KIND: &'static str = "netlist";
+
+    fn encode(&self, w: &mut Writer) {
+        w.str(self.name());
+        w.usize(self.gate_count());
+        for (_, gate) in self.iter() {
+            let tag = GateKind::ALL
+                .iter()
+                .position(|&k| k == gate.kind())
+                .expect("GateKind::ALL covers every kind") as u8;
+            w.u8(tag);
+            w.str(gate.name());
+            w.usize(gate.fanin().len());
+            for &f in gate.fanin() {
+                w.u32(f.index() as u32);
+            }
+        }
+        w.usize(self.outputs().len());
+        for &o in self.outputs() {
+            w.u32(o.index() as u32);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let bad = |e: fbist_netlist::NetlistError| DecodeError::Invalid(e.to_string());
+        let name = r.str()?;
+        let n = r.usize()?;
+        let mut netlist = Netlist::new(name);
+        // Pass 1: gates in id order. Non-DFF gates always reference
+        // earlier ids (Netlist::add_gate enforces it at construction, so
+        // any encoded netlist has the property); DFF `D` pins may point
+        // forward and are connected in pass 2, mirroring how the .bench
+        // reader builds feedback loops.
+        let mut dff_fanin: Vec<(GateId, u32)> = Vec::new();
+        for i in 0..n {
+            let tag = r.u8()? as usize;
+            let &kind = GateKind::ALL
+                .get(tag)
+                .ok_or_else(|| DecodeError::Invalid(format!("bad gate-kind tag {tag}")))?;
+            let gname = r.str()?;
+            let fanin_len = r.usize()?;
+            let mut fanin = Vec::with_capacity(fanin_len.min(r.remaining() / 4));
+            for _ in 0..fanin_len {
+                fanin.push(GateId::from_index(r.u32()? as usize));
+            }
+            let id = if kind == GateKind::Dff {
+                if fanin.len() > 1 {
+                    return Err(DecodeError::Invalid(format!(
+                        "DFF {gname:?} has {} fanins",
+                        fanin.len()
+                    )));
+                }
+                let id = netlist.add_dff(gname).map_err(bad)?;
+                if let Some(&d) = fanin.first() {
+                    dff_fanin.push((id, d.index() as u32));
+                }
+                id
+            } else {
+                netlist.add_gate(kind, gname, fanin).map_err(bad)?
+            };
+            if id.index() != i {
+                return Err(DecodeError::Invalid(format!(
+                    "gate {i} decoded to id {}",
+                    id.index()
+                )));
+            }
+        }
+        for (dff, d) in dff_fanin {
+            netlist
+                .connect_dff(dff, GateId::from_index(d as usize))
+                .map_err(bad)?;
+        }
+        let n_out = r.usize()?;
+        for _ in 0..n_out {
+            let o = r.u32()? as usize;
+            if o >= netlist.gate_count() {
+                return Err(DecodeError::Invalid(format!(
+                    "output id {o} out of range ({} gates)",
+                    netlist.gate_count()
+                )));
+            }
+            netlist.add_output(GateId::from_index(o));
+        }
+        Ok(netlist)
+    }
+}
+
+/// Encodes any artifact to a standalone byte vector (no envelope).
+pub fn encode_to_vec<T: Artifact>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes an artifact from a standalone byte vector, requiring the
+/// buffer to be fully consumed.
+///
+/// # Errors
+///
+/// [`DecodeError`] on corrupt bytes or trailing garbage.
+pub fn decode_from_slice<T: Artifact>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(DecodeError::Invalid(format!(
+            "{} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbist_netlist::embedded;
+
+    fn round_trip<T: Artifact + PartialEq + std::fmt::Debug>(x: &T) {
+        let bytes = encode_to_vec(x);
+        let back: T = decode_from_slice(&bytes).unwrap();
+        assert_eq!(&back, x);
+        // exactness both ways: re-encoding reproduces the bytes
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn bitvec_and_triplet_round_trip() {
+        for width in [0usize, 1, 63, 64, 65, 130] {
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            let mut word = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let v = BitVec::random_with(width, &mut word);
+            round_trip(&v);
+            round_trip(&Triplet::new(v.clone(), v.clone(), width * 3));
+        }
+    }
+
+    #[test]
+    fn bitvec_rejects_word_count_mismatch() {
+        let mut w = Writer::new();
+        w.usize(64);
+        w.u64_slice(&[1, 2]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_from_slice::<BitVec>(&bytes),
+            Err(DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn fault_list_round_trips() {
+        let n = embedded::c17();
+        round_trip(&FaultList::collapsed(&n));
+        round_trip(&FaultList::full(&n));
+        round_trip(&FaultList::new());
+    }
+
+    #[test]
+    fn embedded_netlists_round_trip() {
+        for n in embedded::all() {
+            round_trip(&n);
+        }
+    }
+
+    #[test]
+    fn sequential_netlist_round_trips_feedback_loops() {
+        // q = DFF(not q): the D pin points forward, exercising pass 2
+        let mut n = Netlist::new("loop");
+        let q = n.add_dff("q").unwrap();
+        let inv = n.add_gate(GateKind::Not, "inv", vec![q]).unwrap();
+        n.connect_dff(q, inv).unwrap();
+        n.add_output(inv);
+        n.validate().unwrap();
+        round_trip(&n);
+    }
+
+    #[test]
+    fn netlist_decode_rejects_bad_tag_and_bad_output() {
+        let n = embedded::c17();
+        let bytes = encode_to_vec(&n);
+        let mut bad = bytes.clone();
+        // first gate's kind tag sits right after the name and gate count
+        let tag_pos = {
+            let mut r = Reader::new(&bytes);
+            let _ = r.str().unwrap();
+            let _ = r.usize().unwrap();
+            bytes.len() - r.remaining()
+        };
+        bad[tag_pos] = 0xFF;
+        assert!(matches!(
+            decode_from_slice::<Netlist>(&bad),
+            Err(DecodeError::Invalid(_))
+        ));
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        assert!(decode_from_slice::<Netlist>(&truncated).is_err());
+    }
+
+    #[test]
+    fn atpg_result_round_trips() {
+        use fbist_atpg::{Atpg, AtpgConfig};
+        let n = embedded::c17();
+        let faults = FaultList::collapsed(&n);
+        let res = Atpg::new(&n).unwrap().run(&faults, &AtpgConfig::default());
+        let bytes = encode_to_vec(&res);
+        let back: AtpgResult = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.patterns, res.patterns);
+        assert_eq!(back.detected, res.detected);
+        assert_eq!(back.untestable, res.untestable);
+        assert_eq!(back.aborted, res.aborted);
+        assert_eq!(back.random_detected, res.random_detected);
+        assert_eq!(back.podem_tests, res.podem_tests);
+        assert_eq!(back.total_faults, res.total_faults);
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn first_detection_matrix_round_trips() {
+        const NONE: u32 = FirstDetectionMatrix::NO_DETECTION;
+        let m = FirstDetectionMatrix::from_rows(
+            4,
+            vec![vec![0, 3, NONE, 7], vec![NONE; 4], vec![2, NONE, 0, NONE]],
+        );
+        round_trip(&m);
+        round_trip(&FirstDetectionMatrix::from_rows(3, Vec::new()));
+    }
+}

@@ -1,0 +1,347 @@
+//! The byte codec every artifact shares.
+//!
+//! Fixed-width little-endian primitives over a plain `Vec<u8>` — no
+//! varints, no alignment, no reflection. The encoding of a value is a
+//! *pure function of the value*: encoding the same artifact twice yields
+//! the same bytes, which is what lets the store's checksums and the
+//! cold-vs-warm byte-identity tests work at all. Floating-point fields
+//! travel as their IEEE-754 bit patterns ([`Writer::f64_bits`]), so even
+//! NaN payloads round-trip exactly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a decode failed. Every variant carries enough context to name the
+/// problem in a CLI warning without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value did.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes left in the buffer.
+        remaining: usize,
+    },
+    /// The artifact file does not start with the store magic.
+    BadMagic,
+    /// The artifact was written by a different (older or newer) format
+    /// version of this crate.
+    BadVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The artifact on disk is of a different kind than the one requested
+    /// (e.g. a `cover` key resolving to an `atpg` payload).
+    BadKind {
+        /// Kind string found in the file.
+        found: String,
+        /// Kind string the caller asked for.
+        expected: String,
+    },
+    /// The payload bytes do not match their stored checksum, or a decoded
+    /// value violates an invariant (an out-of-range tag, a width
+    /// mismatch, a malformed netlist …).
+    Invalid(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of artifact: needed {needed} bytes, {remaining} left"
+            ),
+            DecodeError::BadMagic => write!(f, "not an fbist artifact (bad magic)"),
+            DecodeError::BadVersion { found, expected } => write!(
+                f,
+                "artifact format version {found} (this build reads version {expected})"
+            ),
+            DecodeError::BadKind { found, expected } => {
+                write!(f, "artifact is a {found:?}, expected a {expected:?}")
+            }
+            DecodeError::Invalid(msg) => write!(f, "corrupt artifact: {msg}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Encodes primitives into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize`, stored as `u64` so 32- and 64-bit builds interoperate.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// A bool as one byte (`0` / `1`).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// An `f64` as its IEEE-754 bit pattern — exact round-trip, NaN
+    /// payloads included.
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, v: &[u32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+/// Decodes primitives from a byte slice, tracking its position.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once every byte has been consumed — decoders check this to
+    /// reject trailing garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A `usize` stored as `u64`, rejected if it does not fit this
+    /// platform's `usize`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid(format!("length {v} overflows usize")))
+    }
+
+    /// A bool byte; anything but `0` / `1` is corrupt.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::Invalid(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// An `f64` from its stored bit pattern.
+    pub fn f64_bits(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| DecodeError::Invalid("string is not UTF-8".into()))
+    }
+
+    /// Length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, DecodeError> {
+        let n = self.usize()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 4));
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.usize()?;
+        let mut out = Vec::with_capacity(n.min(self.remaining() / 8));
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.bool(true);
+        w.bool(false);
+        w.f64_bits(f64::NAN);
+        w.str("δθτ");
+        w.bytes(&[1, 2, 3]);
+        w.u32_slice(&[5, 6]);
+        w.u64_slice(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert!(r.f64_bits().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "δθτ");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.u32_vec().unwrap(), vec![5, 6]);
+        assert_eq!(r.u64_vec().unwrap(), Vec::<u64>::new());
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn eof_is_reported_with_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.u32().unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            }
+        );
+        assert!(err.to_string().contains("needed 4"));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_invalid() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.bool().unwrap_err(), DecodeError::Invalid(_)));
+        let mut w = Writer::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str().unwrap_err(), DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_eof_not_alloc() {
+        // a corrupt huge length must fail cleanly instead of allocating
+        let mut w = Writer::new();
+        w.usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.bytes().is_err());
+        let mut r = Reader::new(&bytes);
+        assert!(r.u32_vec().is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = || {
+            let mut w = Writer::new();
+            w.str("same");
+            w.f64_bits(0.25);
+            w.u64_slice(&[1, 2, 3]);
+            w.into_bytes()
+        };
+        assert_eq!(enc(), enc());
+    }
+}

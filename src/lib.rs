@@ -18,6 +18,7 @@
 //! | [`atpg`] | `fbist-atpg` | PODEM + SCOAP + full ATPG engine |
 //! | [`tpg`] | `fbist-tpg` | accumulator & LFSR pattern generators |
 //! | [`setcover`] | `fbist-setcover` | reduction + exact/greedy set covering |
+//! | [`store`] | `fbist-store` | content-addressed artifact store for flow stages |
 //! | [`reseed`] | `reseed-core` | the paper's flow, sweep, GATSBY baseline |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@ pub use fbist_genbench as genbench;
 pub use fbist_netlist as netlist;
 pub use fbist_setcover as setcover;
 pub use fbist_sim as sim;
+pub use fbist_store as store;
 pub use fbist_tpg as tpg;
 pub use reseed_core as reseed;
 
@@ -58,12 +60,13 @@ pub mod prelude {
         solve, Backend, DetectionMatrix, FirstDetectionMatrix, SolveConfig, SparseMatrix,
     };
     pub use fbist_sim::{Misr, PackedSimulator, SeqSimulator};
+    pub use fbist_store::{ArtifactStore, StageKey};
     pub use fbist_tpg::{
         AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, Triplet,
     };
     pub use reseed_core::{
         tradeoff_sweep, tradeoff_sweep_from_base, tradeoff_sweep_with, verify_report, AtpgBase,
         FlowConfig, Gatsby, GatsbyConfig, InitialReseedingBuilder, MatrixBuild, ReseedingFlow,
-        ReseedingReport, SweepEngine, TpgKind,
+        ReseedingReport, StageCache, SweepEngine, TpgKind,
     };
 }
