@@ -1,4 +1,13 @@
 //! The complete ATPG engine: random phase + PODEM + compaction.
+//!
+//! The PODEM phase is *fault-parallel*: undetected target faults are
+//! consumed in deterministic rounds of [`PODEM_ROUND`], each round's cube
+//! searches fan out over the `mini-rayon` pool, and fills + fault-dropping
+//! are applied serially in fault-index order. Cube generation is a pure
+//! function of the fault and every don't-care fill is drawn from a
+//! per-fault RNG stream derived from the master seed, so the test set,
+//! drop results and [`AtpgResult`] are bit-identical at any worker count —
+//! `jobs` is a pure throughput knob, pinned by `tests/atpg_equivalence.rs`.
 
 use fbist_bits::BitVec;
 use fbist_fault::{FaultId, FaultList, FaultSimulator};
@@ -8,6 +17,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::podem::{Podem, PodemConfig, PodemOutcome};
+
+/// Target faults PODEM'd per deterministic round — one packed simulation
+/// block's worth, so a fully accepted round drops faults in a single
+/// 64-lane pass. Fixed: round boundaries are part of the algorithm and
+/// never depend on `jobs`.
+const PODEM_ROUND: usize = 64;
+
+/// Round targets handed to one pool task at a time, amortising one
+/// reusable [`PodemSession`](crate::PodemSession) (and its O(netlist)
+/// buffers) over the chunk. Fixed for the same reason as [`PODEM_ROUND`]:
+/// chunking only groups work, results are position-ordered either way.
+const PODEM_CHUNK: usize = 8;
 
 /// How the don't-care positions of PODEM cubes are filled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +61,10 @@ pub struct AtpgConfig {
     pub fill: FillMode,
     /// Run the reverse-order compaction pass.
     pub compact: bool,
+    /// Worker threads for the PODEM phase (`0` = the process-wide pool
+    /// default, i.e. `--jobs` / `FBIST_JOBS` / core count). A pure
+    /// throughput knob: results are bit-identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for AtpgConfig {
@@ -52,12 +77,13 @@ impl Default for AtpgConfig {
             backtrack_limit: 400,
             fill: FillMode::Random,
             compact: true,
+            jobs: 0,
         }
     }
 }
 
 /// Result of an ATPG run — the paper's `(ATPGTS, F)` pair plus statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AtpgResult {
     /// The generated (compacted) test set `ATPGTS`.
     pub patterns: Vec<BitVec>,
@@ -145,17 +171,21 @@ impl Atpg {
         let mut patterns: Vec<BitVec> = Vec::new();
         let mut random_detected = 0usize;
 
+        // Not-yet-detected faults in target-list order, maintained
+        // incrementally (one ordered retain per batch/round) instead of
+        // rebuilt from `detected` after every test.
+        let mut remaining: Vec<FaultId> = faults.iter().map(|(id, _)| id).collect();
+
         // ---- Phase 1: random patterns with fault dropping -------------
         let mut stall = 0usize;
         for _ in 0..config.max_random_batches {
-            if detected.count_ones() == faults.len() || stall >= config.random_stall_batches {
+            if remaining.is_empty() || stall >= config.random_stall_batches {
                 break;
             }
             let batch: Vec<BitVec> = (0..config.random_batch)
                 .map(|_| BitVec::random_with(width, &mut || rng.gen::<u64>()))
                 .collect();
-            let (remaining_ids, remaining_list) = self.undetected(faults, &detected);
-            let res = self.fsim.run(&batch, &remaining_list);
+            let res = self.fsim.run(&batch, &faults.subset(&remaining));
             if res.detected_count() == 0 {
                 stall += 1;
                 continue;
@@ -174,14 +204,23 @@ impl Atpg {
             for &p in &useful {
                 patterns.push(batch[p].clone());
             }
-            for (sub, &orig) in remaining_ids.iter().enumerate() {
+            for (sub, &orig) in remaining.iter().enumerate() {
                 if res.detected.get(sub) {
                     detected.set(orig.index(), true);
                 }
             }
+            remaining.retain(|id| !detected.get(id.index()));
         }
 
-        // ---- Phase 2: deterministic PODEM ------------------------------
+        // ---- Phase 2: fault-parallel PODEM in deterministic rounds -----
+        //
+        // Each round takes the next PODEM_ROUND undetected faults in index
+        // order, searches their cubes in parallel (a pure function of the
+        // fault), then applies fills + drops serially in index order. A
+        // candidate whose target an earlier *accepted* pattern of the same
+        // round already covers is discarded — exactly the fault the serial
+        // loop would have skipped — so the accepted test sequence, and with
+        // it every statistic, is independent of the worker count.
         let podem = Podem::with_config(
             &self.netlist,
             PodemConfig {
@@ -192,59 +231,133 @@ impl Atpg {
         let mut untestable = Vec::new();
         let mut aborted = Vec::new();
         let mut podem_tests = 0usize;
-        for (fid, fault) in faults.iter() {
-            if detected.get(fid.index()) {
-                continue;
+        // Faults PODEM has not yet attempted, in index order. Untestable
+        // and aborted faults leave this queue but stay in `remaining`: a
+        // later pattern may still cover an aborted fault fortuitously.
+        let queue: Vec<FaultId> = remaining.clone();
+        let mut cursor = 0usize;
+        while cursor < queue.len() {
+            let mut targets: Vec<FaultId> = Vec::with_capacity(PODEM_ROUND);
+            while cursor < queue.len() && targets.len() < PODEM_ROUND {
+                let fid = queue[cursor];
+                cursor += 1;
+                if !detected.get(fid.index()) {
+                    targets.push(fid);
+                }
             }
-            match podem.generate(fault) {
-                PodemOutcome::Test(cube) => {
-                    let pattern = match config.fill {
-                        FillMode::Random => cube.fill_with(&mut || rng.gen::<u64>()),
-                        FillMode::Zeros => cube.fill_const(false),
-                        FillMode::Ones => cube.fill_const(true),
-                    };
-                    podem_tests += 1;
-                    // fault-simulate against all undetected faults
-                    let (remaining_ids, remaining_list) = self.undetected(faults, &detected);
-                    let det = self
-                        .fsim
-                        .detects(std::slice::from_ref(&pattern), &remaining_list);
-                    for (sub, &orig) in remaining_ids.iter().enumerate() {
-                        if det.get(sub) {
-                            detected.set(orig.index(), true);
+            if targets.is_empty() {
+                break;
+            }
+
+            // Parallel part: generate a cube per target and fill it from
+            // the target's own seed-derived RNG stream. Chunks reuse one
+            // PODEM session each; results come back in target order.
+            let n_chunks = targets.len().div_ceil(PODEM_CHUNK);
+            let outcomes: Vec<RoundOutcome> =
+                mini_rayon::par_map_indexed(config.jobs, n_chunks, |ci| {
+                    let lo = ci * PODEM_CHUNK;
+                    let hi = (lo + PODEM_CHUNK).min(targets.len());
+                    let mut session = podem.session();
+                    targets[lo..hi]
+                        .iter()
+                        .map(|&fid| match session.generate(faults.get(fid)) {
+                            PodemOutcome::Test(cube) => {
+                                let mut fill_rng =
+                                    StdRng::seed_from_u64(fill_stream_seed(config.seed, fid));
+                                RoundOutcome::Test(match config.fill {
+                                    FillMode::Random => {
+                                        cube.fill_with(&mut || fill_rng.gen::<u64>())
+                                    }
+                                    FillMode::Zeros => cube.fill_const(false),
+                                    FillMode::Ones => cube.fill_const(true),
+                                })
+                            }
+                            PodemOutcome::Untestable => RoundOutcome::Untestable,
+                            PodemOutcome::Aborted => RoundOutcome::Aborted,
+                        })
+                        .collect::<Vec<RoundOutcome>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+
+            // Serial part, in fault-index order. The (no-dropping) pattern
+            // × target dictionary tells each apply step whether an earlier
+            // accepted pattern of this round already covers its target.
+            let candidates: Vec<BitVec> = outcomes
+                .iter()
+                .filter_map(|o| match o {
+                    RoundOutcome::Test(p) => Some(p.clone()),
+                    _ => None,
+                })
+                .collect();
+            let dict = (!candidates.is_empty())
+                .then(|| self.fsim.dictionary(&candidates, &faults.subset(&targets)));
+            let mut row = 0usize;
+            let round_start = patterns.len();
+            for (j, &fid) in targets.iter().enumerate() {
+                match &outcomes[j] {
+                    RoundOutcome::Test(pattern) => {
+                        let this_row = row;
+                        row += 1;
+                        if detected.get(fid.index()) {
+                            continue; // covered within this round — skip
+                        }
+                        let dict = dict.as_ref().expect("candidate implies dictionary");
+                        debug_assert!(
+                            dict.get(this_row, j),
+                            "PODEM cube failed to detect its own fault {}",
+                            faults.get(fid).describe(&self.netlist)
+                        );
+                        podem_tests += 1;
+                        patterns.push(pattern.clone());
+                        // credit this pattern's fortuitous detections among
+                        // the round's targets so later apply steps see them
+                        for (k, &other) in targets.iter().enumerate() {
+                            if dict.get(this_row, k) {
+                                detected.set(other.index(), true);
+                            }
                         }
                     }
-                    debug_assert!(
-                        detected.get(fid.index()),
-                        "PODEM cube failed to detect its own fault {}",
-                        fault.describe(&self.netlist)
-                    );
-                    patterns.push(pattern);
+                    RoundOutcome::Untestable => {
+                        if !detected.get(fid.index()) {
+                            untestable.push(fid);
+                        }
+                    }
+                    RoundOutcome::Aborted => {
+                        if !detected.get(fid.index()) {
+                            aborted.push(fid);
+                        }
+                    }
                 }
-                PodemOutcome::Untestable => untestable.push(fid),
-                PodemOutcome::Aborted => aborted.push(fid),
             }
+
+            // One batched drop pass for the whole round's accepted
+            // patterns (≤ one packed 64-lane block) against everything
+            // still undetected, instead of one `detects` call per test.
+            if patterns.len() > round_start {
+                let det = self
+                    .fsim
+                    .detects(&patterns[round_start..], &faults.subset(&remaining));
+                for (sub, &orig) in remaining.iter().enumerate() {
+                    if det.get(sub) {
+                        detected.set(orig.index(), true);
+                    }
+                }
+            }
+            remaining.retain(|id| !detected.get(id.index()));
         }
+
+        // A fault PODEM gave up on can still be covered fortuitously by a
+        // later round's pattern: report it detected, not aborted, so the
+        // statistics never double-count (same for untestable, defensively
+        // — a proven-redundant fault can never be detected).
+        untestable.retain(|id| !detected.get(id.index()));
+        aborted.retain(|id| !detected.get(id.index()));
 
         // ---- Phase 3: reverse-order compaction --------------------------
         if config.compact && patterns.len() > 1 {
-            let reversed: Vec<BitVec> = patterns.iter().rev().cloned().collect();
-            let res = self.fsim.run(&reversed, faults);
-            let mut keep: Vec<usize> = res
-                .first_detection
-                .iter()
-                .flatten()
-                .map(|&p| p as usize)
-                .collect();
-            keep.sort_unstable();
-            keep.dedup();
-            let compacted: Vec<BitVec> = keep.iter().map(|&p| reversed[p].clone()).collect();
-            debug_assert_eq!(
-                res.detected.count_ones(),
-                detected.count_ones(),
-                "compaction changed coverage"
-            );
-            patterns = compacted;
+            patterns = self.compacted_or_fallback(patterns, faults, detected.count_ones());
         }
 
         AtpgResult {
@@ -258,16 +371,58 @@ impl Atpg {
         }
     }
 
-    /// Splits out the not-yet-detected faults as (original ids, sublist).
-    fn undetected(&self, faults: &FaultList, detected: &BitVec) -> (Vec<FaultId>, FaultList) {
-        let ids: Vec<FaultId> = faults
+    /// Reverse-order compaction with a real (release-mode) coverage check:
+    /// keeps each pattern that first-detects some fault when the set is
+    /// replayed in reverse. If the compacted set were ever to cover a
+    /// different number of faults than `expected_detected`, the
+    /// uncompacted set is returned instead and a warning is printed —
+    /// a short test set must never ship silently.
+    fn compacted_or_fallback(
+        &self,
+        patterns: Vec<BitVec>,
+        faults: &FaultList,
+        expected_detected: usize,
+    ) -> Vec<BitVec> {
+        let reversed: Vec<BitVec> = patterns.iter().rev().cloned().collect();
+        let res = self.fsim.run(&reversed, faults);
+        if res.detected.count_ones() != expected_detected {
+            eprintln!(
+                "fbist-atpg: compaction changed coverage ({} != {} faults); \
+                 keeping the uncompacted test set",
+                res.detected.count_ones(),
+                expected_detected
+            );
+            return patterns;
+        }
+        let mut keep: Vec<usize> = res
+            .first_detection
             .iter()
-            .filter(|(id, _)| !detected.get(id.index()))
-            .map(|(id, _)| id)
+            .flatten()
+            .map(|&p| p as usize)
             .collect();
-        let list = faults.subset(&ids);
-        (ids, list)
+        keep.sort_unstable();
+        keep.dedup();
+        keep.iter().map(|&p| reversed[p].clone()).collect()
     }
+}
+
+/// One target fault's round outcome: a filled candidate pattern, or the
+/// search verdict.
+enum RoundOutcome {
+    Test(BitVec),
+    Untestable,
+    Aborted,
+}
+
+/// Derives the don't-care fill stream seed for one fault: a SplitMix64
+/// mix of the master seed and the fault index, so every fault owns an
+/// independent deterministic stream and no fill ever depends on how many
+/// cubes other workers produced.
+fn fill_stream_seed(seed: u64, fid: FaultId) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(fid.index() as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -368,6 +523,81 @@ mod tests {
         assert!((r.coverage() - 1.0).abs() < 1e-12);
         assert_eq!(r.random_detected, 0);
         assert!(r.podem_tests > 0);
+    }
+
+    #[test]
+    fn jobs_is_a_pure_throughput_knob() {
+        // bit-identical AtpgResult at any worker count (the full-profile
+        // sweep lives in tests/atpg_equivalence.rs)
+        let n = embedded::adder4();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let run = |jobs| {
+            atpg.run(
+                &faults,
+                &AtpgConfig {
+                    jobs,
+                    ..AtpgConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(3));
+    }
+
+    #[test]
+    fn compaction_falls_back_when_coverage_would_change() {
+        // the release-mode guard: handed an expected coverage the
+        // compacted set cannot reach, the engine must keep the
+        // uncompacted patterns instead of shipping a short set
+        let n = embedded::adder4();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let r = atpg.run(
+            &faults,
+            &AtpgConfig {
+                compact: false,
+                ..AtpgConfig::default()
+            },
+        );
+        let impossible = r.detected.count_ones() + 1;
+        let kept = atpg.compacted_or_fallback(r.patterns.clone(), &faults, impossible);
+        assert_eq!(kept, r.patterns, "mismatch must return the input set");
+        // and with the true coverage the pass compacts as usual
+        let compacted =
+            atpg.compacted_or_fallback(r.patterns.clone(), &faults, r.detected.count_ones());
+        assert!(compacted.len() <= r.patterns.len());
+        let check = atpg.fsim.detects(&compacted, &faults);
+        assert_eq!(check.count_ones(), r.detected.count_ones());
+    }
+
+    #[test]
+    fn aborted_and_untestable_never_overlap_detected() {
+        // a zero backtrack budget aborts on the redundant reconvergent
+        // fault; any abort that a later pattern covers fortuitously must
+        // be reported as detected, never double-counted in both lists
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\nx = AND(a, b)\ny = AND(x, na)\nz = OR(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let r = atpg.run(
+            &faults,
+            &AtpgConfig {
+                backtrack_limit: 0,
+                max_random_batches: 0,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(!r.aborted.is_empty(), "budget 0 must abort something");
+        for id in r.aborted.iter().chain(&r.untestable) {
+            assert!(
+                !r.detected.get(id.index()),
+                "fault {} reported given-up *and* detected",
+                id.index()
+            );
+        }
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub mod testability;
 
 pub use compact::{compact_cubes, compaction_ratio};
 pub use engine::{Atpg, AtpgConfig, AtpgResult, FillMode};
-pub use podem::{Podem, PodemConfig, PodemOutcome, PodemStats};
+pub use podem::{Podem, PodemConfig, PodemOutcome, PodemSession, PodemStats};

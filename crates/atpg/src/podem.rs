@@ -98,6 +98,12 @@ pub struct Podem {
     testability: Testability,
     config: PodemConfig,
     is_po: Vec<bool>,
+    /// Good-plane values under the all-X input assignment — the start
+    /// state of every search. Fault-independent, so it is computed once
+    /// here and every [`PodemSession`] begins a fault with two plane
+    /// `memcpy`s plus cone-local fault injection instead of a full
+    /// two-plane gate sweep.
+    baseline: Vec<Tv>,
 }
 
 /// Two-bit Kleene encoding of a three-valued net value: bit 0 = "can be
@@ -212,7 +218,9 @@ impl Planes {
 }
 
 /// Per-search scratch: the fault's fanout cone and reusable buffers, so
-/// the decision loop allocates nothing per implication.
+/// the decision loop allocates nothing per implication — and, via
+/// [`Search::rebind`], nothing per *fault* either beyond cone-bounded
+/// work.
 ///
 /// The *cone* is the fault origin plus its transitive fanouts — the only
 /// nets whose faulty-plane value can ever differ from the good plane.
@@ -221,10 +229,11 @@ impl Planes {
 /// simulation and the frontier scan are restricted to it (values and
 /// decisions are bit-identical to the full-circuit sweep).
 struct Search {
-    in_cone: Vec<bool>,
-    /// Cone gate indices in ascending index order (the scan order the
-    /// full-netlist D-frontier iteration used).
-    cone: Vec<u32>,
+    /// Cone membership stamp: net `i` is in the current fault's cone iff
+    /// `cone_mark[i] == cone_epoch` — restamping a new cone is O(cone),
+    /// not O(netlist).
+    cone_mark: Vec<u32>,
+    cone_epoch: u32,
     seen: Vec<u32>,
     epoch: u32,
     /// Event bitset over topological ranks for incremental resimulation
@@ -240,30 +249,15 @@ struct Search {
     in_d_list: Vec<bool>,
     /// Reusable candidate buffer for the frontier scan.
     cand: Vec<u32>,
+    /// Reusable DFS stack (cone restamp and X-path probe).
+    stack: Vec<GateId>,
 }
 
 impl Search {
-    fn for_fault(podem: &Podem, fault: Fault) -> Search {
-        let n = podem.netlist.gate_count();
-        let origin = match fault.site() {
-            FaultSite::GateOutput(g) => g,
-            FaultSite::GateInput { gate, .. } => gate,
-        };
-        let mut in_cone = vec![false; n];
-        let mut stack = vec![origin];
-        in_cone[origin.index()] = true;
-        while let Some(g) = stack.pop() {
-            for &fo in podem.fanouts_of(g.index()) {
-                if !in_cone[fo.index()] {
-                    in_cone[fo.index()] = true;
-                    stack.push(fo);
-                }
-            }
-        }
-        let cone: Vec<u32> = (0..n as u32).filter(|&i| in_cone[i as usize]).collect();
+    fn new(n: usize) -> Search {
         Search {
-            in_cone,
-            cone,
+            cone_mark: vec![0; n],
+            cone_epoch: 0,
             seen: vec![0; n],
             epoch: 0,
             pending: vec![0; n.div_ceil(64)],
@@ -271,6 +265,42 @@ impl Search {
             d_list: Vec::new(),
             in_d_list: vec![false; n],
             cand: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn in_cone(&self, i: usize) -> bool {
+        self.cone_mark[i] == self.cone_epoch
+    }
+
+    /// Rebinds the scratch to `fault`: forgets the previous fault's D
+    /// records (bounded by its cone) and restamps the new cone.
+    fn rebind(&mut self, podem: &Podem, fault: Fault) {
+        for &i in &self.d_list {
+            self.is_d[i as usize] = false;
+            self.in_d_list[i as usize] = false;
+        }
+        self.d_list.clear();
+        if self.cone_epoch == u32::MAX {
+            self.cone_mark.fill(0);
+            self.cone_epoch = 0;
+        }
+        self.cone_epoch += 1;
+        let origin = match fault.site() {
+            FaultSite::GateOutput(g) => g,
+            FaultSite::GateInput { gate, .. } => gate,
+        };
+        self.cone_mark[origin.index()] = self.cone_epoch;
+        self.stack.clear();
+        self.stack.push(origin);
+        while let Some(g) = self.stack.pop() {
+            for &fo in podem.fanouts_of(g.index()) {
+                if self.cone_mark[fo.index()] != self.cone_epoch {
+                    self.cone_mark[fo.index()] = self.cone_epoch;
+                    self.stack.push(fo);
+                }
+            }
         }
     }
 
@@ -318,16 +348,31 @@ impl Podem {
         for &o in netlist.outputs() {
             is_po[o.index()] = true;
         }
+        let fi = netlist.fanins_csr();
+        let kinds = netlist.kinds();
+        // the all-X good plane every search starts from (one sweep, ever)
+        let mut baseline = vec![TV_X; netlist.gate_count()];
+        for &id in &order {
+            let idx = id.index();
+            let kind = kinds[idx];
+            if kind == GateKind::Input {
+                continue;
+            }
+            let fanin = fi.of(idx);
+            let v = eval_tv(kind, fanin.len(), |p| baseline[fanin[p].index()]);
+            baseline[idx] = v;
+        }
         Ok(Podem {
             netlist: netlist.clone(),
             order,
             rank,
             fo: netlist.fanouts_csr(),
-            fi: netlist.fanins_csr(),
-            kinds: netlist.kinds(),
+            fi,
+            kinds,
             testability: Testability::analyze(netlist),
             config,
             is_po,
+            baseline,
         })
     }
 
@@ -349,76 +394,39 @@ impl Podem {
     }
 
     /// Generates a test for `fault`. See [`PodemOutcome`].
+    ///
+    /// Convenience wrapper that builds a one-shot [`PodemSession`]; callers
+    /// targeting many faults should hold a session and reuse it.
     pub fn generate(&self, fault: Fault) -> PodemOutcome {
-        self.generate_with_stats(fault).0
+        self.session().generate(fault)
     }
 
-    /// Generates a test and reports search statistics.
+    /// Generates a test and reports search statistics (one-shot session).
     pub fn generate_with_stats(&self, fault: Fault) -> (PodemOutcome, PodemStats) {
+        self.session().generate_with_stats(fault)
+    }
+
+    /// Creates a reusable search session.
+    ///
+    /// A session owns the per-search buffers (planes, cone stamps, event
+    /// bitset, decision stack), so generating tests for many faults
+    /// through one session costs cone-bounded rebinding per fault instead
+    /// of `O(netlist)` allocations and a full two-plane sweep. Outcomes
+    /// are bit-identical to one-shot [`Podem::generate`] calls: sessions
+    /// only recycle memory, never search state.
+    pub fn session(&self) -> PodemSession<'_> {
         let npis = self.netlist.inputs().len();
         let n = self.netlist.gate_count();
-        let mut pi = vec![Trit::X; npis];
-        // decision stack: (pi position, current value, already flipped)
-        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
-        let mut stats = PodemStats::default();
-        let mut search = Search::for_fault(self, fault);
-        let mut planes = Planes {
-            good: vec![TV_X; n],
-            faulty: vec![TV_X; n],
-        };
-
-        // One full two-plane sweep establishes the all-X baseline; every
-        // later PI change is propagated incrementally (identical values —
-        // the circuit is acyclic, so event-driven re-evaluation in rank
-        // order reaches the same fixpoint as a full sweep).
-        self.simulate(&pi, fault, &mut search, &mut planes);
-        let mut changed: Vec<usize> = Vec::new();
-        loop {
-            stats.implications += 1;
-            if self.netlist.outputs().iter().any(|&o| planes.has_d(o)) {
-                let mut cube = Cube::all_x(npis);
-                for (k, &t) in pi.iter().enumerate() {
-                    cube.set(k, t);
-                }
-                return (PodemOutcome::Test(cube), stats);
-            }
-
-            let objective = self.objective(&planes, fault, &mut search);
-            let next = objective.and_then(|(net, val)| self.backtrace(net, val, &planes));
-            match next {
-                Some((pos, val)) => {
-                    stats.decisions += 1;
-                    pi[pos] = Trit::from_bool(val);
-                    stack.push((pos, val, false));
-                    changed.clear();
-                    changed.push(pos);
-                    self.resimulate(&pi, &changed, fault, &mut search, &mut planes);
-                }
-                None => {
-                    // conflict → backtrack
-                    changed.clear();
-                    loop {
-                        match stack.pop() {
-                            Some((pos, val, false)) => {
-                                stats.backtracks += 1;
-                                if stats.backtracks > self.config.backtrack_limit {
-                                    return (PodemOutcome::Aborted, stats);
-                                }
-                                pi[pos] = Trit::from_bool(!val);
-                                stack.push((pos, !val, true));
-                                changed.push(pos);
-                                break;
-                            }
-                            Some((pos, _, true)) => {
-                                pi[pos] = Trit::X;
-                                changed.push(pos);
-                            }
-                            None => return (PodemOutcome::Untestable, stats),
-                        }
-                    }
-                    self.resimulate(&pi, &changed, fault, &mut search, &mut planes);
-                }
-            }
+        PodemSession {
+            podem: self,
+            search: Search::new(n),
+            planes: Planes {
+                good: vec![TV_X; n],
+                faulty: vec![TV_X; n],
+            },
+            pi: vec![Trit::X; npis],
+            stack: Vec::new(),
+            changed: Vec::new(),
         }
     }
 
@@ -453,7 +461,7 @@ impl Podem {
             }
             planes.good[i] = v;
             planes.faulty[i] = fv;
-            if s.in_cone[i] {
+            if s.in_cone(i) {
                 s.update_d(i, v, fv);
             }
             for &fo in self.fanouts_of(i) {
@@ -463,7 +471,22 @@ impl Podem {
                 max_w = max_w.max(r >> 6);
             }
         }
+        self.propagate_events(fault, s, planes, min_w, max_w);
+    }
 
+    /// Drains the pending-rank event bitset: re-evaluates enqueued gates
+    /// in topological order, propagating further events only where a
+    /// plane value actually changes. Shared by [`Podem::resimulate`] (PI
+    /// reassignments) and [`PodemSession`]'s fault injection.
+    fn propagate_events(
+        &self,
+        fault: Fault,
+        s: &mut Search,
+        planes: &mut Planes,
+        min_w: usize,
+        mut max_w: usize,
+    ) {
+        let stuck = tv_from_bool(fault.stuck_value());
         let mut w = min_w;
         while w <= max_w {
             let word = s.pending[w];
@@ -478,7 +501,7 @@ impl Podem {
             let kind = self.kinds[idx];
             let fanin = self.fanins_of(idx);
             let ng = eval_tv(kind, fanin.len(), |p| planes.good[fanin[p].index()]);
-            let nf = if !s.in_cone[idx] {
+            let nf = if !s.in_cone(idx) {
                 ng
             } else if fault.site() == FaultSite::GateOutput(id) {
                 stuck
@@ -502,7 +525,7 @@ impl Podem {
             if ng != planes.good[idx] || nf != planes.faulty[idx] {
                 planes.good[idx] = ng;
                 planes.faulty[idx] = nf;
-                if s.in_cone[idx] {
+                if s.in_cone(idx) {
                     s.update_d(idx, ng, nf);
                 }
                 for &fo in self.fanouts_of(idx) {
@@ -514,61 +537,49 @@ impl Podem {
         }
     }
 
-    /// Two-plane three-valued simulation of the current PI assignment with
-    /// the fault injected in the faulty plane.
+    /// Injects `fault` into planes currently holding the all-X baseline in
+    /// both planes: forces the faulty value at the fault origin and
+    /// event-propagates the difference through the cone.
     ///
-    /// The faulty plane is only *evaluated* inside the fault cone; outside
-    /// it every net's faulty value equals its good value by construction,
-    /// so it is copied instead — same values, half the gate evaluations.
-    fn simulate(&self, pi: &[Trit], fault: Fault, search: &mut Search, planes: &mut Planes) {
-        let good = &mut planes.good;
-        let faulty = &mut planes.faulty;
+    /// Reaches exactly the values the old full two-plane sweep computed
+    /// (the circuit is acyclic, so event-driven re-evaluation in rank
+    /// order reaches the same fixpoint), but costs O(cone events), and
+    /// nothing at all when the all-X faulty value equals the baseline.
+    fn inject(&self, fault: Fault, s: &mut Search, planes: &mut Planes) {
         let stuck = tv_from_bool(fault.stuck_value());
-
-        for (k, &p) in self.netlist.inputs().iter().enumerate() {
-            good[p.index()] = tv_of(pi[k]);
-            faulty[p.index()] = tv_of(pi[k]);
-        }
-        if let FaultSite::GateOutput(g) = fault.site() {
-            if self.netlist.gate(g).kind() == GateKind::Input {
-                faulty[g.index()] = stuck;
+        let origin = match fault.site() {
+            FaultSite::GateOutput(g) => g,
+            FaultSite::GateInput { gate, .. } => gate,
+        };
+        let idx = origin.index();
+        let nf = match fault.site() {
+            FaultSite::GateOutput(_) => stuck,
+            FaultSite::GateInput { pin, .. } => {
+                let fanin = self.fanins_of(idx);
+                let pin = pin as usize;
+                eval_tv(self.kinds[idx], fanin.len(), |p| {
+                    if p == pin {
+                        stuck
+                    } else {
+                        planes.faulty[fanin[p].index()]
+                    }
+                })
             }
+        };
+        if nf == planes.faulty[idx] {
+            return;
         }
-        for &id in &self.order {
-            let idx = id.index();
-            let kind = self.kinds[idx];
-            if kind == GateKind::Input {
-                continue;
-            }
-            let fanin = self.fanins_of(idx);
-            good[idx] = eval_tv(kind, fanin.len(), |p| good[fanin[p].index()]);
-
-            if !search.in_cone[idx] {
-                faulty[idx] = good[idx];
-                continue;
-            }
-            if fault.site() == FaultSite::GateOutput(id) {
-                faulty[idx] = stuck;
-                continue;
-            }
-            faulty[idx] = match fault.site() {
-                FaultSite::GateInput { gate, pin } if gate == id => {
-                    let pin = pin as usize;
-                    eval_tv(kind, fanin.len(), |p| {
-                        if p == pin {
-                            stuck
-                        } else {
-                            faulty[fanin[p].index()]
-                        }
-                    })
-                }
-                _ => eval_tv(kind, fanin.len(), |p| faulty[fanin[p].index()]),
-            };
+        planes.faulty[idx] = nf;
+        s.update_d(idx, planes.good[idx], nf);
+        let mut min_w = usize::MAX;
+        let mut max_w = 0usize;
+        for &fo in self.fanouts_of(idx) {
+            let r = self.rank[fo.index()] as usize;
+            s.pending[r >> 6] |= 1u64 << (r & 63);
+            min_w = min_w.min(r >> 6);
+            max_w = max_w.max(r >> 6);
         }
-        for ci in 0..search.cone.len() {
-            let i = search.cone[ci] as usize;
-            search.update_d(i, good[i], faulty[i]);
-        }
+        self.propagate_events(fault, s, planes, min_w, max_w);
     }
 
     /// Picks the next objective `(net, value)`; `None` signals a conflict
@@ -692,16 +703,17 @@ impl Podem {
             s.seen.fill(0);
             s.epoch = 1;
         }
-        let mut stack = vec![from];
+        s.stack.clear();
+        s.stack.push(from);
         s.seen[from.index()] = s.epoch;
-        while let Some(g) = stack.pop() {
+        while let Some(g) = s.stack.pop() {
             if self.is_po[g.index()] {
                 return true;
             }
             for &fo in self.fanouts_of(g.index()) {
                 if s.seen[fo.index()] != s.epoch && planes.fluid(fo) {
                     s.seen[fo.index()] = s.epoch;
-                    stack.push(fo);
+                    s.stack.push(fo);
                 }
             }
         }
@@ -782,6 +794,118 @@ impl Podem {
                     };
                     net = next;
                     val = next_val;
+                }
+            }
+        }
+    }
+}
+
+/// A reusable PODEM search session — see [`Podem::session`].
+///
+/// Holds every per-search buffer so a batch of faults shares one set of
+/// O(netlist) allocations. Starting a fault costs two plane `memcpy`s
+/// from the precomputed all-X baseline plus cone-bounded fault injection,
+/// instead of the full two-plane sweep a cold start needs.
+pub struct PodemSession<'p> {
+    podem: &'p Podem,
+    search: Search,
+    planes: Planes,
+    pi: Vec<Trit>,
+    /// Decision stack: (pi position, current value, already flipped).
+    stack: Vec<(usize, bool, bool)>,
+    /// Scratch list of PI positions reassigned since the last implication.
+    changed: Vec<usize>,
+}
+
+impl PodemSession<'_> {
+    /// The engine this session searches with.
+    pub fn podem(&self) -> &Podem {
+        self.podem
+    }
+
+    /// Generates a test for `fault`. See [`PodemOutcome`].
+    pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
+        self.generate_with_stats(fault).0
+    }
+
+    /// Generates a test and reports search statistics.
+    pub fn generate_with_stats(&mut self, fault: Fault) -> (PodemOutcome, PodemStats) {
+        let podem = self.podem;
+        let mut stats = PodemStats::default();
+
+        // Rebind the reused buffers to this fault: all-X PIs, baseline
+        // planes, fresh cone stamp, cone-local fault injection. Every
+        // later PI change is propagated incrementally (identical values —
+        // the circuit is acyclic, so event-driven re-evaluation in rank
+        // order reaches the same fixpoint as a full sweep).
+        self.pi.fill(Trit::X);
+        self.stack.clear();
+        self.planes.good.copy_from_slice(&podem.baseline);
+        self.planes.faulty.copy_from_slice(&podem.baseline);
+        self.search.rebind(podem, fault);
+        podem.inject(fault, &mut self.search, &mut self.planes);
+
+        loop {
+            stats.implications += 1;
+            if podem
+                .netlist
+                .outputs()
+                .iter()
+                .any(|&o| self.planes.has_d(o))
+            {
+                let mut cube = Cube::all_x(self.pi.len());
+                for (k, &t) in self.pi.iter().enumerate() {
+                    cube.set(k, t);
+                }
+                return (PodemOutcome::Test(cube), stats);
+            }
+
+            let objective = podem.objective(&self.planes, fault, &mut self.search);
+            let next = objective.and_then(|(net, val)| podem.backtrace(net, val, &self.planes));
+            match next {
+                Some((pos, val)) => {
+                    stats.decisions += 1;
+                    self.pi[pos] = Trit::from_bool(val);
+                    self.stack.push((pos, val, false));
+                    self.changed.clear();
+                    self.changed.push(pos);
+                    podem.resimulate(
+                        &self.pi,
+                        &self.changed,
+                        fault,
+                        &mut self.search,
+                        &mut self.planes,
+                    );
+                }
+                None => {
+                    // conflict → backtrack
+                    self.changed.clear();
+                    loop {
+                        match self.stack.pop() {
+                            Some((pos, val, false)) => {
+                                stats.backtracks += 1;
+                                if stats.backtracks > podem.config.backtrack_limit {
+                                    return (PodemOutcome::Aborted, stats);
+                                }
+                                self.pi[pos] = Trit::from_bool(!val);
+                                self.stack.push((pos, !val, true));
+                                self.changed.push(pos);
+                                break;
+                            }
+                            Some((pos, _, true)) => {
+                                self.pi[pos] = Trit::X;
+                                self.changed.push(pos);
+                            }
+                            None => return (PodemOutcome::Untestable, stats),
+                        }
+                    }
+                    podem.resimulate(
+                        &self.pi,
+                        &self.changed,
+                        fault,
+                        &mut self.search,
+                        &mut self.planes,
+                    );
                 }
             }
         }

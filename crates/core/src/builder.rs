@@ -110,7 +110,14 @@ impl InitialReseedingBuilder {
     /// which is what lets the τ-sweep build it once.
     pub fn atpg_base(&self, config: &FlowConfig) -> AtpgBase {
         let universe = FaultList::collapsed(&self.netlist);
-        let atpg = self.atpg.run(&universe, &config.atpg);
+        // the flow-level worker count reaches the PODEM phase unless the
+        // ATPG fragment pins its own; either way `jobs` never enters the
+        // `atpg` stage key — it cannot change a single result bit
+        let mut acfg = config.atpg.clone();
+        if acfg.jobs == 0 {
+            acfg.jobs = config.jobs;
+        }
+        let atpg = self.atpg.run(&universe, &acfg);
         let target_faults = universe.subset(&atpg.detected_ids());
         AtpgBase {
             atpg,

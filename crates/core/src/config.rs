@@ -351,7 +351,9 @@ impl FlowConfig {
     }
 
     /// Sets the worker-thread count (`0` = global default). Purely a
-    /// throughput knob: every job count computes the same results.
+    /// throughput knob: every job count computes the same results. Also
+    /// reaches the fault-parallel ATPG rounds, unless
+    /// [`AtpgConfig::jobs`] pins its own count.
     pub fn with_jobs(mut self, jobs: usize) -> FlowConfig {
         self.jobs = jobs;
         self

@@ -17,11 +17,13 @@
 //! | `first-detection` | `atpg` inputs + TPG kind + flow seed (**not** τ — see below) |
 //! | `cover` | `first-detection` inputs + τ + solver settings + trim |
 //!
-//! Pure throughput knobs — `jobs`, the set-covering [`Backend`], the
-//! [`MatrixBuild`] engine, the [`SweepEngine`] — are **excluded** from
-//! every key: the workspace pins them bit-identical (the
-//! `sweep_equivalence`, `parallel_equivalence`, `sparse_dense_equivalence`
-//! and `batched_matrix_equivalence` suites), so an artifact computed
+//! Pure throughput knobs — `jobs` (both the flow-level count and
+//! [`AtpgConfig::jobs`], which gates the fault-parallel PODEM rounds),
+//! the set-covering [`Backend`], the [`MatrixBuild`] engine, the
+//! [`SweepEngine`] — are **excluded** from every key: the workspace pins
+//! them bit-identical (the `sweep_equivalence`, `parallel_equivalence`,
+//! `atpg_equivalence`, `sparse_dense_equivalence` and
+//! `batched_matrix_equivalence` suites), so an artifact computed
 //! under any of them answers all of them. That exclusion is what makes a
 //! store warmed by a 4-job batched sparse run answer a 1-job per-row
 //! dense query byte-identically — asserted by `tests/store_equivalence.rs`
@@ -69,9 +71,12 @@ pub fn circuit_digest(netlist: &Netlist) -> DigestBytes {
     d.finish()
 }
 
-/// Hashes the ATPG-relevant fragment: every [`AtpgConfig`] field. The
-/// run is a pure function of (circuit, these fields) — `jobs` and the
-/// downstream engine knobs never reach it.
+/// Hashes the ATPG-relevant fragment: every [`AtpgConfig`] field *except*
+/// `jobs`. The run is a pure function of (circuit, these fields);
+/// `AtpgConfig::jobs` only sizes the PODEM worker pool and is pinned
+/// bit-identical by `tests/atpg_equivalence.rs`, so it joins the excluded
+/// throughput-knob set — an artifact computed at any worker count answers
+/// every worker count.
 fn hash_atpg_fragment(d: &mut Digest, atpg: &AtpgConfig) {
     d.u64(atpg.seed);
     d.usize(atpg.random_batch);
@@ -562,6 +567,11 @@ mod tests {
         for v in &variants {
             assert_eq!(all_keys(&n, v), base_keys, "config: {v:?}");
         }
+        // the ATPG engine's own worker count is a throughput knob too
+        // (fault-parallel PODEM rounds, pinned by atpg_equivalence)
+        let mut atpg_jobs = cfg();
+        atpg_jobs.atpg.jobs = 5;
+        assert_eq!(all_keys(&n, &atpg_jobs), base_keys, "atpg.jobs leaked");
         // local-search jobs are a throughput knob too
         let mut ls = cfg();
         ls.solve.engine = Engine::LocalSearch(fbist_setcover::LocalSearchConfig {

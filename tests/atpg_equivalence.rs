@@ -1,0 +1,138 @@
+//! Differential suite pinning the fault-parallel ATPG engine to its
+//! serial self.
+//!
+//! For **every** genbench profile (scaled to a small, fast gate budget —
+//! the round/dictionary machinery is identical at every size), every fill
+//! mode, and `jobs ∈ {1, 4}`, the engine must produce a **byte-for-byte
+//! identical** [`AtpgResult`] — patterns, detection flags, untestable and
+//! aborted lists, and every statistic. This is the ATPG-level sibling of
+//! the `parallel_equivalence` (flow jobs), `sparse_dense_equivalence`
+//! (backend) and `batched_matrix_equivalence` (matrix engine) contracts:
+//! PODEM cube generation is a pure function of the fault and every
+//! don't-care fill comes from a per-fault RNG stream derived from the
+//! master seed, so the worker count may only change wall-clock time,
+//! never a single bit of any artefact. The `atpg` stage key excludes
+//! `AtpgConfig::jobs` on the strength of exactly this suite.
+//!
+//! The suite also pins the outcome-reconciliation bugfix at full scale:
+//! on `c880` the default configuration aborts a fault that a later
+//! pattern covers fortuitously — it must be reported detected, never
+//! double-counted as aborted too.
+
+use fbist_fault::FaultList;
+use fbist_genbench::{all_profiles, generate, CircuitProfile};
+use fbist_netlist::Netlist;
+use set_covering_reseeding::prelude::*;
+
+/// Gate budget for the per-profile equivalence half: exercises every
+/// interface shape while staying test-fast.
+const GATE_BUDGET: f64 = 70.0;
+
+fn small(p: &CircuitProfile) -> Netlist {
+    let n = generate(&p.scaled((GATE_BUDGET / p.gates as f64).min(1.0)), 1);
+    if n.is_combinational() {
+        n
+    } else {
+        full_scan(&n).into_combinational()
+    }
+}
+
+/// Serial vs 4-worker ATPG, byte-for-byte, across every fill mode, for
+/// one netlist — plus the reconciliation invariant (no fault may be
+/// reported both given-up and detected).
+fn assert_atpg_equivalent(netlist: &Netlist, label: &str) {
+    let atpg = Atpg::new(netlist).unwrap();
+    let faults = FaultList::collapsed(netlist);
+    for fill in [FillMode::Random, FillMode::Zeros, FillMode::Ones] {
+        let run = |jobs: usize| {
+            atpg.run(
+                &faults,
+                &AtpgConfig {
+                    jobs,
+                    fill,
+                    ..AtpgConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(
+            serial, parallel,
+            "{label} fill={fill:?}: jobs=4 AtpgResult differs from serial"
+        );
+        for id in serial.aborted.iter().chain(&serial.untestable) {
+            assert!(
+                !serial.detected.get(id.index()),
+                "{label} fill={fill:?}: fault {} double-counted",
+                id.index()
+            );
+        }
+    }
+}
+
+macro_rules! atpg_equivalence_tests {
+    ($($test:ident => $profile:literal),+ $(,)?) => {$(
+        mod $test {
+            use super::*;
+
+            #[test]
+            fn serial_vs_parallel() {
+                let p = genbench_profile($profile).expect("profile registered");
+                assert_atpg_equivalent(&small(&p), $profile);
+            }
+        }
+    )+};
+}
+
+// one module per profile so the harness runs them in parallel
+atpg_equivalence_tests! {
+    atpg_c499 => "c499",
+    atpg_c880 => "c880",
+    atpg_c1355 => "c1355",
+    atpg_c1908 => "c1908",
+    atpg_c7552 => "c7552",
+    atpg_s420 => "s420",
+    atpg_s641 => "s641",
+    atpg_s820 => "s820",
+    atpg_s838 => "s838",
+    atpg_s953 => "s953",
+    atpg_s1238 => "s1238",
+    atpg_s1423 => "s1423",
+    atpg_s5378 => "s5378",
+    atpg_s9234 => "s9234",
+    atpg_s13207 => "s13207",
+    atpg_s15850 => "s15850",
+    atpg_tiny64 => "tiny64",
+    atpg_mid256 => "mid256",
+    atpg_big3500 => "big3500",
+    atpg_xl7000 => "xl7000",
+}
+
+#[test]
+fn atpg_macro_covers_every_profile() {
+    // fail loudly if a profile is ever added without an ATPG test
+    assert_eq!(all_profiles().len(), 20, "update atpg_equivalence_tests!");
+}
+
+/// The reconciliation bugfix at full scale: default-config `c880` aborts
+/// a fault that a later pattern detects fortuitously. Without the final
+/// filter the fault appears in `aborted` *and* `detected`, double-counting
+/// the statistics (this exact overlap is how the bug was found).
+#[test]
+fn c880_aborted_faults_are_reconciled_against_detections() {
+    let n = generate(&genbench_profile("c880").unwrap(), 1);
+    let atpg = Atpg::new(&n).unwrap();
+    let faults = FaultList::collapsed(&n);
+    let r = atpg.run(&faults, &AtpgConfig::default());
+    assert!(!r.aborted.is_empty(), "c880 default config aborts faults");
+    for id in r.aborted.iter().chain(&r.untestable) {
+        assert!(
+            !r.detected.get(id.index()),
+            "fault {} reported aborted/untestable *and* detected",
+            id.index()
+        );
+    }
+    // the lists partition cleanly: every target fault is detected,
+    // given-up, or simply uncovered — never two of those at once
+    assert!(r.detected.count_ones() + r.untestable.len() + r.aborted.len() <= r.total_faults);
+}
