@@ -1,0 +1,198 @@
+//! Analysis findings and their human / machine renderings.
+
+use std::fmt;
+
+/// How serious a finding is. Orders `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, not a defect (e.g. provably
+    /// untestable faults, which real circuits legitimately contain).
+    Info,
+    /// Suspicious structure that usually indicates a modelling mistake
+    /// (floating nets, unobservable logic, dead constants).
+    Warning,
+    /// The circuit is unusable as-is (combinational cycles, unconnected
+    /// flip-flops).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, stable for the JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a severity, a stable machine-readable code, and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Seriousness.
+    pub severity: Severity,
+    /// Stable kebab-case code identifying the finding type
+    /// (e.g. `comb-cycle`, `floating-net`, `untestable-faults`).
+    pub code: &'static str,
+    /// Free-form description naming the nets involved.
+    pub message: String,
+}
+
+/// The result of [`crate::analyze`]: everything found, plus context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total gate count (including inputs, constants and flip-flops).
+    pub gates: usize,
+    /// All findings, grouped by severity (errors first), stable order.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// `true` if the report contains anything of [`Severity::Warning`] or
+    /// worse — the condition under which `fbist check` exits non-zero.
+    pub fn has_findings(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity >= Severity::Warning)
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Renders the report as line-oriented human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("check {}: {} gates\n", self.circuit, self.gates));
+        for f in &self.findings {
+            out.push_str(&format!("{}: [{}] {}\n", f.severity, f.code, f.message));
+        }
+        out.push_str(&format!(
+            "{} errors, {} warnings, {} infos\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// Renders the report as stable machine-readable JSON: fixed key
+    /// order, findings in report order, no trailing whitespace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"circuit\":");
+        json_string(&mut out, &self.circuit);
+        out.push_str(&format!(",\"gates\":{}", self.gates));
+        out.push_str(&format!(
+            ",\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":",
+                f.severity, f.code
+            ));
+            json_string(&mut out, &f.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal with the mandatory escapes.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            circuit: "c\"x".to_owned(),
+            gates: 3,
+            findings: vec![
+                Finding {
+                    severity: Severity::Error,
+                    code: "comb-cycle",
+                    message: "a -> b -> a".to_owned(),
+                },
+                Finding {
+                    severity: Severity::Info,
+                    code: "untestable-faults",
+                    message: "1 of 10".to_owned(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn has_findings_ignores_info() {
+        let mut r = sample();
+        assert!(r.has_findings());
+        r.findings.remove(0);
+        assert!(!r.has_findings());
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample();
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"circuit\":\"c\\\"x\",\"gates\":3,\
+             \"summary\":{\"errors\":1,\"warnings\":0,\"infos\":1},\
+             \"findings\":[\
+             {\"severity\":\"error\",\"code\":\"comb-cycle\",\"message\":\"a -> b -> a\"},\
+             {\"severity\":\"info\",\"code\":\"untestable-faults\",\"message\":\"1 of 10\"}]}"
+        );
+    }
+
+    #[test]
+    fn text_rendering_counts() {
+        let r = sample();
+        let t = r.render_text();
+        assert!(t.contains("1 errors, 0 warnings, 1 infos"), "{t}");
+        assert!(t.contains("[comb-cycle]"), "{t}");
+    }
+}

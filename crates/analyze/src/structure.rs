@@ -1,0 +1,185 @@
+//! Structural diagnostics: observability, floating nets, dead logic.
+//!
+//! Everything here is purely topological (plus baseline constants), so it
+//! stays meaningful even for circuits the implication engine cannot help
+//! with. The observability analysis is conservative in the safe direction:
+//! a gate marked unobservable provably has no sensitisable structural path
+//! to any observation point, while an observable-marked gate merely *might*
+//! have one.
+
+use fbist_netlist::{GateId, GateKind, Netlist};
+
+/// Structural facts shared by the report and the untestability pre-pass.
+pub(crate) struct Structure {
+    /// Per gate: `true` if the gate's output net has a structural path to
+    /// an observation point (primary output or DFF `D` pin) that is not
+    /// blocked by a constant side input at a controlling value.
+    pub obs: Vec<bool>,
+    /// Nets that drive nothing and are not primary outputs.
+    pub floating: Vec<GateId>,
+    /// Gates with fanout but no structural path to any observation point.
+    pub unobservable: Vec<GateId>,
+    /// Non-`CONST` gates whose output is a baseline constant — dead logic
+    /// behind constant inputs.
+    pub dead_constant: Vec<(GateId, bool)>,
+}
+
+impl Structure {
+    /// Computes the structural facts. `order` must be a valid levelization
+    /// of `netlist` and `consts` its baseline constants (both typically
+    /// from [`crate::Implicator`]).
+    pub fn compute(netlist: &Netlist, order: &[GateId], consts: Vec<Option<bool>>) -> Structure {
+        let n = netlist.gate_count();
+        let mut is_output = vec![false; n];
+        for &o in netlist.outputs() {
+            is_output[o.index()] = true;
+        }
+
+        // Observability: backward sweep from observation points. A pin is
+        // *live* when its gate observes (or is a DFF, whose D value the
+        // scan chain exposes) and no *sibling* pin is stuck at the gate's
+        // controlling value — a controlling side input freezes the output,
+        // so no fault effect can pass.
+        let mut obs = is_output.clone();
+        for &id in order.iter().rev() {
+            let g = netlist.gate(id);
+            if g.kind().is_source() {
+                continue;
+            }
+            if !obs[id.index()] && !g.kind().is_state() {
+                continue;
+            }
+            let fanin = g.fanin();
+            match g.kind().controlling_value() {
+                None => {
+                    for &d in fanin {
+                        obs[d.index()] = true;
+                    }
+                }
+                Some(c) => {
+                    let ctrl_pins: Vec<usize> = fanin
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| consts[d.index()] == Some(c))
+                        .map(|(p, _)| p)
+                        .collect();
+                    match ctrl_pins.len() {
+                        0 => {
+                            for &d in fanin {
+                                obs[d.index()] = true;
+                            }
+                        }
+                        // With exactly one controlling constant pin, only
+                        // that pin's own effect could still pass (all its
+                        // siblings are non-controlling); everyone else is
+                        // blocked by it.
+                        1 => obs[fanin[ctrl_pins[0]].index()] = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let fanouts = netlist.fanouts();
+        let mut floating = Vec::new();
+        let mut unobservable = Vec::new();
+        let mut dead_constant = Vec::new();
+        for (id, g) in netlist.iter() {
+            let i = id.index();
+            if fanouts[i].is_empty() && !is_output[i] {
+                // A DFF with unused Q still observes its D pin through the
+                // scan chain, so it is not dead weight.
+                if g.kind() != GateKind::Dff {
+                    floating.push(id);
+                }
+            } else if !obs[i] {
+                unobservable.push(id);
+            }
+            if let Some(v) = consts[i] {
+                if !g.kind().is_source() {
+                    dead_constant.push((id, v));
+                }
+            }
+        }
+
+        Structure {
+            obs,
+            floating,
+            unobservable,
+            dead_constant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implication::Implicator;
+    use fbist_netlist::bench;
+
+    fn structure(src: &str) -> (Structure, Netlist) {
+        let n = bench::parse(src).unwrap();
+        let imp = Implicator::new(&n).unwrap();
+        let order = n.levelize().unwrap();
+        let s = Structure::compute(&n, &order, imp.baseline_constants());
+        (s, n)
+    }
+
+    #[test]
+    fn clean_circuit_has_no_findings() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let (s, n) = structure(src);
+        assert!(s.floating.is_empty());
+        assert!(s.unobservable.is_empty());
+        assert!(s.dead_constant.is_empty());
+        assert!(s.obs.iter().all(|&o| o));
+        assert!(s.obs[n.find("a").unwrap().index()]);
+    }
+
+    #[test]
+    fn floating_net_detected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nz = BUFF(a)\n";
+        let (s, n) = structure(src);
+        assert_eq!(s.floating, vec![n.find("z").unwrap()]);
+    }
+
+    #[test]
+    fn unused_input_is_floating() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a)\n";
+        let (s, n) = structure(src);
+        assert_eq!(s.floating, vec![n.find("b").unwrap()]);
+    }
+
+    #[test]
+    fn constant_blocking_makes_cone_unobservable() {
+        // z = CONST0 freezes w = AND(y, z); y only reaches the output
+        // through w, so y (and its driver cone) is unobservable.
+        let src = "INPUT(a)\nOUTPUT(w)\nz = CONST0()\ny = NOT(a)\nw = AND(y, z)\n";
+        let (s, n) = structure(src);
+        assert!(!s.obs[n.find("y").unwrap().index()]);
+        assert!(!s.obs[n.find("a").unwrap().index()]);
+        // the constant pin itself could still pass (all siblings free)
+        assert!(s.obs[n.find("z").unwrap().index()]);
+        assert!(s.unobservable.contains(&n.find("y").unwrap()));
+        // w is constant 0 behind the constant input: dead logic
+        assert_eq!(s.dead_constant, vec![(n.find("w").unwrap(), false)]);
+    }
+
+    #[test]
+    fn dff_d_pin_counts_as_observation() {
+        // y only feeds a DFF whose Q is unused: still observable via scan.
+        let src = "INPUT(a)\nOUTPUT(a)\ny = NOT(a)\nq = DFF(y)\n";
+        let (s, n) = structure(src);
+        assert!(s.obs[n.find("y").unwrap().index()]);
+        assert!(s.unobservable.is_empty());
+        assert!(s.floating.is_empty());
+    }
+
+    #[test]
+    fn xor_is_never_blocked_by_constants() {
+        let src = "INPUT(a)\nOUTPUT(y)\nz = CONST1()\ny = XOR(a, z)\n";
+        let (s, n) = structure(src);
+        assert!(s.obs[n.find("a").unwrap().index()]);
+        assert!(s.unobservable.is_empty());
+    }
+}

@@ -65,6 +65,13 @@ pub struct AtpgConfig {
     /// default, i.e. `--jobs` / `FBIST_JOBS` / core count). A pure
     /// throughput knob: results are bit-identical at any value.
     pub jobs: usize,
+    /// Run the static untestability pre-pass (`fbist-analyze`) and prune
+    /// provably untestable faults before the random and PODEM phases.
+    /// Changes fault *classification* (pruned faults are reported
+    /// untestable up front, never aborted), so unlike `jobs` it is part
+    /// of the `atpg` stage key; the detected set and pattern sequence are
+    /// unaffected because untestable faults never contribute patterns.
+    pub static_prepass: bool,
 }
 
 impl Default for AtpgConfig {
@@ -78,6 +85,7 @@ impl Default for AtpgConfig {
             fill: FillMode::Random,
             compact: true,
             jobs: 0,
+            static_prepass: false,
         }
     }
 }
@@ -176,6 +184,29 @@ impl Atpg {
         // rebuilt from `detected` after every test.
         let mut remaining: Vec<FaultId> = faults.iter().map(|(id, _)| id).collect();
 
+        // ---- Phase 0: optional static untestability pre-pass ----------
+        //
+        // Statically-proven untestable faults are recorded up front and
+        // removed from the target list, so neither the random phase nor
+        // PODEM spends budget on them. This cannot change the detected
+        // set or the pattern sequence: a provably untestable fault is
+        // detected by no pattern, so it never contributes a first
+        // detection in Phase 1 and PODEM could only ever classify it
+        // (untestable or aborted), never produce a test for it.
+        let mut untestable: Vec<FaultId> = Vec::new();
+        if config.static_prepass {
+            let statically_untestable = fbist_analyze::untestable_faults(&self.netlist, faults)
+                .expect("netlist already validated");
+            remaining.retain(|&id| {
+                if statically_untestable[id.index()] {
+                    untestable.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
         // ---- Phase 1: random patterns with fault dropping -------------
         let mut stall = 0usize;
         for _ in 0..config.max_random_batches {
@@ -228,7 +259,6 @@ impl Atpg {
             },
         )
         .expect("netlist already validated");
-        let mut untestable = Vec::new();
         let mut aborted = Vec::new();
         let mut podem_tests = 0usize;
         // Faults PODEM has not yet attempted, in index order. Untestable
@@ -598,6 +628,75 @@ mod tests {
                 id.index()
             );
         }
+    }
+
+    #[test]
+    fn static_prepass_preserves_detection_and_patterns() {
+        // Prepass on vs off: identical patterns and detected set; the
+        // pruned faults all end up classified untestable.
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\ny = OR(a, na)\nz = AND(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let off = atpg.run(&faults, &AtpgConfig::default());
+        let on = atpg.run(
+            &faults,
+            &AtpgConfig {
+                static_prepass: true,
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(off.patterns, on.patterns);
+        assert_eq!(off.detected, on.detected);
+        assert_eq!(off.random_detected, on.random_detected);
+        // same untestable faults as a set (order may differ)
+        let mut a = off.untestable.clone();
+        let mut b = on.untestable.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!on.untestable.is_empty());
+        // every statically pruned fault is reported untestable
+        let mask = fbist_analyze::untestable_faults(&n, &faults).unwrap();
+        for (id, _) in faults.iter() {
+            if mask[id.index()] {
+                assert!(on.untestable.contains(&id));
+                assert!(!on.detected.get(id.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn static_prepass_upgrades_aborts_to_untestable() {
+        // With a zero backtrack budget PODEM aborts on the redundant
+        // fault; the prepass settles it statically instead.
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\nx = AND(a, b)\ny = AND(x, na)\nz = OR(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let cfg = AtpgConfig {
+            backtrack_limit: 0,
+            max_random_batches: 0,
+            ..AtpgConfig::default()
+        };
+        let off = atpg.run(&faults, &cfg);
+        let on = atpg.run(
+            &faults,
+            &AtpgConfig {
+                static_prepass: true,
+                ..cfg
+            },
+        );
+        assert_eq!(off.detected, on.detected);
+        assert!(
+            on.aborted.len() < off.aborted.len(),
+            "prepass must shrink the aborted list ({} vs {})",
+            on.aborted.len(),
+            off.aborted.len()
+        );
+        assert!(on.untestable.len() > off.untestable.len());
     }
 
     #[test]

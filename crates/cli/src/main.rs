@@ -3,7 +3,8 @@
 //! ```text
 //! fbist gen <profile> [--scale F] [--seed N] [--out FILE]
 //! fbist stats <file.bench>
-//! fbist atpg <file.bench|profile> [--seed N]
+//! fbist check <file.bench|profile> [--json]
+//! fbist atpg <file.bench|profile> [--seed N] [--static-prepass]
 //! fbist reseed <file.bench|profile> [--tpg add|sub|mul|lfsr|mplfsr|wrand] [--tau N]
 //! fbist sweep <file.bench|profile> [--tpg KIND] [--taus 0,7,31,...]
 //! fbist compare <file.bench|profile> [--tpg KIND] [--tau N]
@@ -33,6 +34,8 @@
 //! to computing them. Store hit/miss statistics go to stderr so stdout
 //! stays diffable.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use fbist_atpg::{Atpg, AtpgConfig};
@@ -50,6 +53,21 @@ mod serve;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `check` owns a three-way exit code (0 clean, 1 findings, 2 usage
+    // error) so scripts can distinguish "circuit has issues" from "the
+    // invocation itself was wrong"; every other subcommand keeps the
+    // classic ok/fail pair.
+    if args.first().map(String::as_str) == Some("check") {
+        return match cmd_check(&args[1..]) {
+            Ok(findings) => ExitCode::from(u8::from(findings)),
+            Err(msg) => {
+                eprintln!("fbist: {msg}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -66,7 +84,8 @@ usage:
   fbist profiles
   fbist gen <profile> [--scale F] [--seed N] [--out FILE]
   fbist stats <circuit>
-  fbist atpg <circuit> [--seed N]
+  fbist check <circuit> [--json]
+  fbist atpg <circuit> [--seed N] [--static-prepass]
   fbist reseed <circuit> [--tpg KIND] [--tau N] [--seed N] [--scale F]
                [--csv FILE] [--rom FILE]
   fbist sweep <circuit> [--tpg KIND] [--taus 0,7,31] [--scale F]
@@ -89,6 +108,15 @@ whenever sharing 64-lane blocks across rows saves block evaluations) and
 shares one first-detection simulation across all τ points whenever there
 are at least two). Results are identical for every job count, backend
 and engine.
+check runs the static analyses only (no simulation): structural errors,
+floating nets, unobservable logic, dead constants, and provably
+untestable stuck-at faults. It exits 0 when clean, 1 when anything of
+warning severity or worse was found, 2 on a usage error; --json emits
+the report as stable machine-readable JSON on stdout.
+atpg accepts --static-prepass to prune statically-proven-untestable
+faults before any random patterns or PODEM effort is spent on them
+(coverage over detected faults is unchanged; aborted faults may be
+reclassified as untestable).
 reseed, sweep and serve accept --store DIR (default: the FBIST_STORE
 environment variable) to cache finished stages in a content-addressed
 artifact store, and --no-store to force recomputation; cached answers
@@ -114,6 +142,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "profiles" => cmd_profiles(),
         "gen" => cmd_gen(rest),
         "stats" => cmd_stats(rest),
+        // reachable only via run()'s tests: main() intercepts `check`
+        // before run() so it can map the report onto its exit codes
+        "check" => cmd_check(rest).map(|_| ()),
         "atpg" => cmd_atpg(rest),
         "reseed" => cmd_reseed(rest),
         "sweep" => cmd_sweep(rest),
@@ -282,6 +313,19 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> R
 /// Sequential netlists are full-scanned. Errors name the namespace that
 /// failed instead of a bare I/O message.
 fn load_circuit(args: &[String]) -> Result<Netlist, String> {
+    let n = load_circuit_raw(args)?;
+    Ok(if n.is_combinational() {
+        n
+    } else {
+        full_scan(&n).into_combinational()
+    })
+}
+
+/// [`load_circuit`] without the full-scan conversion: `check` analyses
+/// the circuit as written, so flip-flop diagnostics (unconnected DFFs,
+/// scan-observed `D` pins) stay visible instead of being rewritten into
+/// pseudo-ports first.
+fn load_circuit_raw(args: &[String]) -> Result<Netlist, String> {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("missing circuit argument".into());
     };
@@ -303,11 +347,7 @@ fn load_circuit(args: &[String]) -> Result<Netlist, String> {
              not a built-in profile (see `fbist profiles`), and not an embedded circuit"
         ));
     };
-    Ok(if n.is_combinational() {
-        n
-    } else {
-        full_scan(&n).into_combinational()
-    })
+    Ok(n)
 }
 
 /// Reads and parses a `.bench` file, with errors that name the file
@@ -377,12 +417,27 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `fbist check`: the static analyses, no simulation. Returns whether
+/// the report contains warning-or-worse findings (the exit-1 condition);
+/// `main` maps that onto the documented exit codes.
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let n = load_circuit_raw(args)?;
+    let report = fbist_analyze::analyze(&n);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.has_findings())
+}
+
 fn cmd_atpg(args: &[String]) -> Result<(), String> {
     let n = load_circuit(args)?;
     let faults = FaultList::collapsed(&n);
     let atpg = Atpg::new(&n).map_err(|e| e.to_string())?;
     let mut cfg = AtpgConfig::default();
     cfg.seed = parse_num(args, "--seed", cfg.seed)?;
+    cfg.static_prepass = args.iter().any(|a| a == "--static-prepass");
     let r = atpg.run(&faults, &cfg);
     println!(
         "{}: {} patterns, coverage {:.2} % (efficiency {:.2} %), {} random-phase detections, {} PODEM tests, {} untestable, {} aborted",

@@ -66,6 +66,110 @@ fn lp_export_is_wellformed() {
     assert!(stdout.contains(">= 1;"));
 }
 
+/// Like [`fbist`] but exposing the raw exit code, for subcommands with
+/// more than two outcomes (`check`: 0 clean / 1 findings / 2 usage).
+fn fbist_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fbist"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn check_clean_circuit_exits_zero() {
+    let (code, stdout, _) = fbist_code(&["check", "c17"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("check c17:"), "{stdout}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn check_flags_findings_with_exit_one() {
+    let dir = std::env::temp_dir().join("fbist_cli_check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("floating.bench");
+    std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nz = BUFF(a)\n").unwrap();
+    let (code, stdout, _) = fbist_code(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("[floating-net]"), "{stdout}");
+    assert!(stdout.contains("\"z\""), "{stdout}");
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let (code, stdout, _) = fbist_code(&["check", "c17", "--json"]);
+    assert_eq!(code, Some(0));
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"circuit\":\"c17\""), "{stdout}");
+    assert!(
+        line.contains("\"summary\":{\"errors\":0,\"warnings\":0,\"infos\":0}"),
+        "{stdout}"
+    );
+    assert!(line.ends_with("\"findings\":[]}"), "{stdout}");
+}
+
+#[test]
+fn check_json_reports_findings_with_severities() {
+    let dir = std::env::temp_dir().join("fbist_cli_check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("redundant.bench");
+    // OR(a, NOT a) is constant 1: an info-level untestable-fault finding,
+    // which must NOT flip the exit code
+    std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n").unwrap();
+    let (code, stdout, _) = fbist_code(&["check", path.to_str().unwrap(), "--json"]);
+    assert_eq!(
+        code,
+        Some(0),
+        "info findings must not fail the check: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"code\":\"untestable-faults\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"severity\":\"info\""), "{stdout}");
+}
+
+#[test]
+fn check_usage_errors_exit_two() {
+    let (code, _, stderr) = fbist_code(&["check", "c99999"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (code, _, _) = fbist_code(&["check"]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn check_reports_cycles_from_bench_files_by_full_path() {
+    let dir = std::env::temp_dir().join("fbist_cli_check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cyclic.bench");
+    std::fs::write(&path, "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n").unwrap();
+    let (code, _, stderr) = fbist_code(&["check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "cycle is a parse error: {stderr}");
+    for name in ["combinational cycle", "x", "y", "->"] {
+        assert!(stderr.contains(name), "missing {name:?}: {stderr}");
+    }
+}
+
+#[test]
+fn atpg_static_prepass_keeps_coverage() {
+    let (ok, out_off, _) = fbist(&["atpg", "tiny64"]);
+    let (ok2, out_on, _) = fbist(&["atpg", "tiny64", "--static-prepass"]);
+    assert!(ok && ok2);
+    let coverage = |s: &str| {
+        s.split("coverage ")
+            .nth(1)
+            .and_then(|t| t.split(' ').next())
+            .map(str::to_owned)
+    };
+    assert_eq!(coverage(&out_off), coverage(&out_on), "{out_off}\n{out_on}");
+}
+
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let (ok, _, stderr) = fbist(&["frobnicate"]);

@@ -350,6 +350,15 @@ impl FlowConfig {
         self
     }
 
+    /// Enables/disables the static untestability pre-pass
+    /// ([`AtpgConfig::static_prepass`]). Unlike the throughput knobs this
+    /// IS part of every stage key: it upgrades aborted faults to proven
+    /// untestable, changing the classification an artifact records.
+    pub fn with_static_prepass(mut self, static_prepass: bool) -> FlowConfig {
+        self.atpg.static_prepass = static_prepass;
+        self
+    }
+
     /// Sets the worker-thread count (`0` = global default). Purely a
     /// throughput knob: every job count computes the same results. Also
     /// reaches the fault-parallel ATPG rounds, unless

@@ -60,7 +60,7 @@ pub use gatsby::{Gatsby, GatsbyConfig, GatsbyResult};
 pub use report::{ReseedingReport, SelectedTriplet};
 pub use stage::{
     atpg_stage_key, circuit_digest, cover_stage_key, first_detection_stage_key,
-    sweep_request_digest, CachedFirstDetection, StageCache, StageStats,
+    sweep_request_digest, CachedFirstDetection, StageCache, StageStats, THROUGHPUT_KNOBS,
 };
 pub use sweep::{tradeoff_sweep, tradeoff_sweep_from_base, tradeoff_sweep_with, SweepPoint};
 pub use verify::{verify_against, verify_report, Verification};

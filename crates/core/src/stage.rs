@@ -13,7 +13,7 @@
 //!
 //! | stage | keyed on |
 //! |-------|----------|
-//! | `atpg` | circuit, ATPG settings (seed, batches, backtrack limit, fill, compaction) |
+//! | `atpg` | circuit, ATPG settings (seed, batches, backtrack limit, fill, compaction, static pre-pass) |
 //! | `first-detection` | `atpg` inputs + TPG kind + flow seed (**not** τ — see below) |
 //! | `cover` | `first-detection` inputs + τ + solver settings + trim |
 //!
@@ -89,7 +89,26 @@ fn hash_atpg_fragment(d: &mut Digest, atpg: &AtpgConfig) {
         FillMode::Ones => 2,
     });
     d.bool(atpg.compact);
+    // static_prepass IS keyed, unlike the throughput knobs: it changes
+    // the fault classification (aborted → untestable), so two runs that
+    // differ in it are not interchangeable artifacts.
+    d.bool(atpg.static_prepass);
 }
+
+/// The knobs deliberately **excluded** from every stage key, by config
+/// path, with the equivalence suite that pins each one bit-identical.
+/// `xtask lint` greps this manifest and cross-checks it against the
+/// suites under `tests/`, so the exclusion list cannot silently drift:
+/// adding an unkeyed knob without a pinning suite (or deleting a suite
+/// that a listed knob relies on) fails CI.
+pub const THROUGHPUT_KNOBS: &[(&str, &str)] = &[
+    ("jobs", "parallel_equivalence"),
+    ("atpg.jobs", "atpg_equivalence"),
+    ("solve.backend", "sparse_dense_equivalence"),
+    ("solve.engine.jobs", "parallel_equivalence"),
+    ("matrix_build", "batched_matrix_equivalence"),
+    ("sweep_engine", "sweep_equivalence"),
+];
 
 /// Hashes the solver-relevant fragment of [`SolveConfig`]: reductions,
 /// engine (with the local-search parameters that shape the cover —
@@ -621,6 +640,21 @@ mod tests {
         let mut greedy = base.clone();
         greedy.solve.engine = Engine::Greedy;
         assert_ne!(cover_stage_key(&n, &greedy), cover_stage_key(&n, &base));
+        // static_prepass changes the ATPG fault classification, so it
+        // feeds every stage downstream of atpg — it is NOT a throughput
+        // knob even though coverage over detected faults is unchanged
+        let prepass = base.clone().with_static_prepass(true);
+        for key_fn in [atpg_stage_key, first_detection_stage_key, cover_stage_key] {
+            assert_ne!(
+                key_fn(&n, &prepass),
+                key_fn(&n, &base),
+                "static_prepass must change every stage key"
+            );
+        }
+        assert_ne!(
+            sweep_request_digest(&n, &prepass, &[0, 7]),
+            sweep_request_digest(&n, &base, &[0, 7])
+        );
         // the circuit feeds everything
         let other = embedded::majority();
         for key_fn in [atpg_stage_key, first_detection_stage_key, cover_stage_key] {

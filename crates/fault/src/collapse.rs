@@ -120,9 +120,20 @@ pub fn collapse(netlist: &Netlist, faults: &FaultList) -> CollapseResult {
         }
     }
 
-    // Fanout-free stems: stem fault ≡ its unique branch fault.
+    // Fanout-free stems: stem fault ≡ its unique branch fault. A stem
+    // that is also a primary output is excluded: it is observed directly,
+    // so a test may detect the stem fault at the output without the
+    // effect ever passing through the branch's gate — the test sets are
+    // not equal and the faults must stay in separate classes.
+    let mut is_output = vec![false; netlist.gate_count()];
+    for &o in netlist.outputs() {
+        is_output[o.index()] = true;
+    }
     let fanouts = netlist.fanouts();
     for (net, sinks) in fanouts.iter().enumerate() {
+        if is_output[net] {
+            continue;
+        }
         // count pins fed by this net (a gate may consume it on two pins)
         let mut pins = Vec::new();
         for &sink in sinks {
@@ -236,6 +247,34 @@ mod tests {
         // x pin0/v ≡ x/!v; y pin0/v ≡ y/v → classes:
         // {a0},{a1},{p_x0, x1},{p_x1, x0},{p_y0, y0},{p_y1, y1} => 6
         assert_eq!(r.representatives.len(), 6);
+    }
+
+    #[test]
+    fn output_stem_with_one_branch_is_not_merged() {
+        // x is a primary output AND feeds y on one pin. A test for x/0
+        // can observe x directly, while the branch fault x->y.0/0 needs
+        // propagation through y (blocked whenever b = 0): the test sets
+        // differ, so the old fanout-free merge here was wrong.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = AND(x, b)\n";
+        let n = bench::parse(src).unwrap();
+        let full = FaultList::full(&n);
+        let r = collapse(&n, &full);
+        let x = n.find("x").unwrap();
+        let y = n.find("y").unwrap();
+        let stem = full
+            .position(&Fault::stuck_at(FaultSite::GateOutput(x), false))
+            .unwrap();
+        let branch = full
+            .position(&Fault::stuck_at(
+                FaultSite::GateInput { gate: y, pin: 0 },
+                false,
+            ))
+            .unwrap();
+        assert_ne!(
+            r.class_of[stem.index()],
+            r.class_of[branch.index()],
+            "PO stem must not collapse with its branch"
+        );
     }
 
     #[test]

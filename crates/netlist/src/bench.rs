@@ -194,6 +194,39 @@ pub fn parse_named(src: &str, name: &str) -> Result<Netlist, BenchParseError> {
     // which every gate's *combinational* fanins precede it, and DFFs are
     // emitted last (all their D drivers exist by then).
     let n = gate_decls.len();
+
+    // Cycle pre-check on the declared dependence graph via the shared SCC
+    // pass, so the error names the full cycle path rather than one gate.
+    // DFF fanins are sequential edges and unknown names are reported later
+    // with a better message, so both are skipped here.
+    {
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, &(_, kind, fanins)) in gate_decls.iter().enumerate() {
+            if kind == GateKind::Dff {
+                continue;
+            }
+            for fname in fanins {
+                if let Some(&dep) = ids.get(fname.as_str()) {
+                    succ[dep].push(i as u32);
+                }
+            }
+        }
+        let comps = crate::topo::cyclic_sccs(&succ);
+        if let Some(comp) = comps.first() {
+            let path = crate::topo::cycle_path(&succ, comp);
+            let names: Vec<&str> = path.iter().map(|&i| gate_decls[i].0).collect();
+            return Err(BenchParseError::new(
+                0,
+                format!(
+                    "combinational cycle through {:?}: {} -> {}",
+                    names[0],
+                    names.join(" -> "),
+                    names[0]
+                ),
+            ));
+        }
+    }
+
     let mut state = vec![0u8; n]; // 0 unvisited, 1 visiting, 2 done
     let mut emit: Vec<usize> = Vec::with_capacity(n);
     for start in 0..n {
@@ -415,6 +448,24 @@ OUTPUT(23)
         let src = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = BUFF(x)\n";
         let e = parse(src).unwrap_err();
         assert!(e.to_string().contains("cycle"), "{e}");
+        // the full cycle path is reported by gate name
+        let msg = e.to_string();
+        assert!(
+            msg.contains("x") && msg.contains("y") && msg.contains("->"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn cycle_error_names_every_gate_on_the_loop() {
+        let src = "INPUT(a)\nOUTPUT(p)\np = AND(a, r)\nq = NOT(p)\nr = BUFF(q)\n";
+        let msg = parse(src).unwrap_err().to_string();
+        for g in ["p", "q", "r"] {
+            assert!(msg.contains(g), "missing {g} in {msg}");
+        }
+        // sequential feedback is fine though
+        let seq = "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(a, q)\n";
+        assert!(parse(seq).is_ok());
     }
 
     #[test]

@@ -45,8 +45,10 @@ mod gate;
 mod netlist;
 pub mod scan;
 pub mod stats;
+pub mod topo;
 
 pub use gate::{eval_packed, eval_trit, GateKind};
 pub use netlist::{CsrAdjacency, Gate, GateId, Netlist, NetlistError};
 pub use scan::{full_scan, ScanView};
 pub use stats::NetlistStats;
+pub use topo::{cycle_path, cyclic_sccs};

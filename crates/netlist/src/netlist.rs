@@ -114,6 +114,9 @@ pub enum NetlistError {
     CombinationalCycle {
         /// A gate participating in the cycle.
         gate: String,
+        /// The full cycle as gate names: each gate feeds the next, and the
+        /// last feeds the first. Empty when the path was not recovered.
+        cycle: Vec<String>,
     },
     /// A referenced name does not exist (reported by the `.bench` parser).
     UnknownName(String),
@@ -134,8 +137,13 @@ impl fmt::Display for NetlistError {
                     "gate {gate:?} of kind {kind} has invalid fanin count {got}"
                 )
             }
-            NetlistError::CombinationalCycle { gate } => {
-                write!(f, "combinational cycle through gate {gate:?}")
+            NetlistError::CombinationalCycle { gate, cycle } => {
+                write!(f, "combinational cycle through gate {gate:?}")?;
+                if !cycle.is_empty() {
+                    let path = cycle.join(" -> ");
+                    write!(f, ": {path} -> {}", cycle[0])?;
+                }
+                Ok(())
             }
             NetlistError::UnknownName(n) => write!(f, "reference to unknown name {n:?}"),
             NetlistError::DanglingOutput(id) => write!(f, "output refers to unknown gate {id}"),
@@ -418,18 +426,11 @@ impl Netlist {
         // (the Q value comes from the previous cycle). The DFF gate itself
         // therefore never appears as a dependence of anything.
         let is_assigned = |k: GateKind| -> bool { k.is_source() || k.is_state() };
+        let succ = self.comb_succ();
         let mut indeg = vec![0usize; n];
-        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, g) in self.gates.iter().enumerate() {
-            if is_assigned(g.kind) {
-                continue;
-            }
-            for &f in &g.fanin {
-                if is_assigned(self.gates[f.index()].kind) {
-                    continue;
-                }
-                succ[f.index()].push(i as u32);
-                indeg[i] += 1;
+        for s in &succ {
+            for &w in s {
+                indeg[w as usize] += 1;
             }
         }
         let mut order: Vec<GateId> = Vec::with_capacity(n);
@@ -455,13 +456,68 @@ impl Netlist {
             }
         }
         if order.len() != n {
-            let culprit = (0..n)
-                .find(|&i| !is_assigned(self.gates[i].kind) && indeg[i] > 0)
-                .map(|i| self.gates[i].name.clone())
+            // Recover the full cycle path via the shared SCC pass so the
+            // error names every gate on it, not just one.
+            let cycles = self.combinational_cycles();
+            let cycle: Vec<String> = cycles
+                .first()
+                .map(|c| {
+                    c.iter()
+                        .map(|&g| self.gates[g.index()].name.clone())
+                        .collect()
+                })
                 .unwrap_or_default();
-            return Err(NetlistError::CombinationalCycle { gate: culprit });
+            let culprit = cycle.first().cloned().unwrap_or_else(|| {
+                (0..n)
+                    .find(|&i| !is_assigned(self.gates[i].kind) && indeg[i] > 0)
+                    .map(|i| self.gates[i].name.clone())
+                    .unwrap_or_default()
+            });
+            return Err(NetlistError::CombinationalCycle {
+                gate: culprit,
+                cycle,
+            });
         }
         Ok(order)
+    }
+
+    /// The combinational dependence graph as successor lists: an edge
+    /// `d → g` for every logic gate `g` reading a net `d` that is itself
+    /// computed (not a primary input, constant, or DFF output).
+    fn comb_succ(&self) -> Vec<Vec<u32>> {
+        let is_assigned = |k: GateKind| -> bool { k.is_source() || k.is_state() };
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            if is_assigned(g.kind) {
+                continue;
+            }
+            for &f in &g.fanin {
+                if is_assigned(self.gates[f.index()].kind) {
+                    continue;
+                }
+                succ[f.index()].push(i as u32);
+            }
+        }
+        succ
+    }
+
+    /// Every combinational cycle in the netlist, one representative
+    /// (shortest) cycle per cyclic strongly connected component, as gate-id
+    /// paths where each gate feeds the next and the last feeds the first.
+    ///
+    /// Empty for a valid (acyclic) netlist. Sequential feedback through
+    /// flip-flops is not a combinational cycle.
+    pub fn combinational_cycles(&self) -> Vec<Vec<GateId>> {
+        let succ = self.comb_succ();
+        crate::topo::cyclic_sccs(&succ)
+            .iter()
+            .map(|comp| {
+                crate::topo::cycle_path(&succ, comp)
+                    .into_iter()
+                    .map(|i| GateId(i as u32))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Validates the netlist: arities, output references, and combinational

@@ -1,0 +1,200 @@
+//! Strongly-connected-component analysis of gate dependence graphs.
+//!
+//! This is the one shared cycle detector of the workspace: both the
+//! `.bench` parser's definition-order pass and [`Netlist::levelize`]
+//! report combinational cycles through it, and `fbist-analyze` reuses it
+//! for structural diagnostics — so every error message names the *full*
+//! cycle, not just one gate on it.
+//!
+//! The graph is given as successor lists over dense `0..n` node indices
+//! (for a netlist: `succ[driver]` lists the gates reading that net).
+//! [`cyclic_sccs`] finds the strongly connected components that actually
+//! contain a cycle; [`cycle_path`] extracts one concrete shortest cycle
+//! from such a component for reporting.
+//!
+//! [`Netlist::levelize`]: crate::Netlist::levelize
+
+/// Strongly connected components of a directed graph, restricted to the
+/// *cyclic* ones: components with more than one node, or a single node
+/// with a self-loop.
+///
+/// Deterministic: components are returned ordered by their smallest node
+/// index, each component's nodes sorted ascending. Iterative Tarjan, so
+/// deep netlists cannot overflow the call stack.
+pub fn cyclic_sccs(succ: &[Vec<u32>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    const UNDEF: u32 = u32::MAX;
+    let mut index = vec![UNDEF; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    // (node, next-successor cursor)
+    let mut call: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNDEF {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        call.push((root as u32, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0 as usize;
+            if (frame.1 as usize) < succ[v].len() {
+                let w = succ[v][frame.1 as usize] as usize;
+                frame.1 += 1;
+                if index[w] == UNDEF {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp: Vec<usize> = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp.push(w as usize);
+                        if w as usize == v {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1 || succ[v].contains(&(v as u32));
+                    if cyclic {
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    comps.sort_unstable_by_key(|c| c[0]);
+    comps
+}
+
+/// One concrete cycle inside a cyclic component returned by
+/// [`cyclic_sccs`]: the shortest cycle through the component's smallest
+/// node, as the node sequence `[n0, n1, …, nk]` where every consecutive
+/// pair is an edge and `nk → n0` closes the loop (a self-loop yields just
+/// `[n0]`).
+///
+/// # Panics
+///
+/// Panics if `component` is empty or is not a cyclic component of `succ`
+/// (no cycle through its smallest node exists).
+pub fn cycle_path(succ: &[Vec<u32>], component: &[usize]) -> Vec<usize> {
+    let start = *component.iter().min().expect("non-empty component");
+    if succ[start].contains(&(start as u32)) {
+        return vec![start];
+    }
+    let n = succ.len();
+    let mut in_comp = vec![false; n];
+    for &c in component {
+        in_comp[c] = true;
+    }
+    // BFS from `start` restricted to the component; the first edge found
+    // back into `start` closes the shortest cycle through it.
+    let mut parent = vec![usize::MAX; n];
+    let mut queue: Vec<usize> = vec![start];
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &w in &succ[v] {
+            let w = w as usize;
+            if w == start {
+                // close the cycle: start … v
+                let mut path = vec![v];
+                let mut cur = v;
+                while cur != start {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return path;
+            }
+            if in_comp[w] && parent[w] == usize::MAX && w != start {
+                parent[w] = v;
+                queue.push(w);
+            }
+        }
+    }
+    panic!("component has no cycle through its smallest node");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(u32, u32)], n: usize) -> Vec<Vec<u32>> {
+        let mut succ = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            succ[a as usize].push(b);
+        }
+        succ
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cyclic_sccs() {
+        let succ = g(&[(0, 1), (1, 2), (0, 2)], 3);
+        assert!(cyclic_sccs(&succ).is_empty());
+    }
+
+    #[test]
+    fn simple_cycle_found_with_full_path() {
+        let succ = g(&[(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        let comps = cyclic_sccs(&succ);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+        assert_eq!(cycle_path(&succ, &comps[0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let succ = g(&[(1, 1)], 2);
+        let comps = cyclic_sccs(&succ);
+        assert_eq!(comps, vec![vec![1]]);
+        assert_eq!(cycle_path(&succ, &comps[0]), vec![1]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_ordered_by_smallest_node() {
+        let succ = g(&[(3, 4), (4, 3), (0, 1), (1, 0)], 5);
+        let comps = cyclic_sccs(&succ);
+        assert_eq!(comps, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn shortest_cycle_is_reported_for_a_dense_scc() {
+        // 0→1→2→0 and the chord 0→2 (so 0→2→0 is shorter)
+        let succ = g(&[(0, 1), (1, 2), (2, 0), (0, 2)], 3);
+        let comps = cyclic_sccs(&succ);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(cycle_path(&succ, &comps[0]), vec![0, 2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 0→1→…→N→0: one giant cycle, found iteratively
+        let n = 200_000;
+        let mut succ: Vec<Vec<u32>> = (0..n).map(|i| vec![(i as u32 + 1) % n as u32]).collect();
+        succ[n - 1] = vec![0];
+        let comps = cyclic_sccs(&succ);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+}

@@ -11,6 +11,7 @@
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
 //! | [`bits`] | `fbist-bits` | bit vectors, cubes, bit matrices |
+//! | [`analyze`] | `fbist-analyze` | static analysis, implications, untestability |
 //! | [`netlist`] | `fbist-netlist` | gate-level IR, `.bench` I/O, full-scan |
 //! | [`genbench`] | `fbist-genbench` | synthetic ISCAS-like circuits |
 //! | [`sim`] | `fbist-sim` | packed / sequential / 3-valued / event simulation |
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fbist_analyze as analyze;
 pub use fbist_atpg as atpg;
 pub use fbist_bits as bits;
 pub use fbist_fault as fault;
@@ -50,6 +52,7 @@ pub use reseed_core as reseed;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fbist_analyze::{analyze, untestable_faults, AnalysisReport, Severity};
     pub use fbist_atpg::{compact_cubes, Atpg, AtpgConfig, AtpgResult, FillMode};
     pub use fbist_bits::{BitMatrix, BitVec, Cube, Trit};
     pub use fbist_fault::{checkpoint_faults, Fault, FaultList, FaultSimulator};

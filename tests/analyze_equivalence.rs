@@ -1,0 +1,272 @@
+//! Differential suite pinning the static-analysis pre-pass to the ATPG
+//! ground truth.
+//!
+//! Three contracts, each over **every** genbench profile (scaled to a
+//! small, fast gate budget — the analyses are size-uniform):
+//!
+//! 1. **`fbist check` is clean on every profile.** The generator never
+//!    emits floating nets, dead constants, or structurally unobservable
+//!    logic, and `analyze` must not invent any — its warning-level
+//!    findings would otherwise poison the exit code of `fbist check` in
+//!    CI pipelines over these circuits. (Provably untestable faults and
+//!    implied constants are Info by design: real circuits legitimately
+//!    contain redundancy, so they never flip the exit code.)
+//! 2. **The pre-pass never changes what is detected.** `static_prepass`
+//!    prunes only statically-*proven* untestable faults, which no pattern
+//!    can detect — so the detected-fault set, the pattern list, and the
+//!    random-phase statistics must be byte-identical with the knob on and
+//!    off, at `jobs ∈ {1, 4}`. Only the classification of undetected
+//!    faults may improve (aborted → untestable).
+//! 3. **Every pruned fault really is untestable.** With the knob on,
+//!    every statically-pruned fault must be reported in `untestable`,
+//!    never in `aborted`, never detected.
+//!
+//! A proptest half cross-checks soundness on random circuits: a fault
+//! proven untestable by [`untestable_faults`] is never detected by random
+//! pattern sets nor by the full ATPG-generated test set.
+
+use fbist_genbench::{all_profiles, generate, CircuitProfile};
+use proptest::prelude::*;
+use set_covering_reseeding::prelude::*;
+
+/// Gate budget for the per-profile half: exercises every interface shape
+/// while staying test-fast.
+const GATE_BUDGET: f64 = 70.0;
+
+fn small(p: &CircuitProfile) -> Netlist {
+    generate(&p.scaled((GATE_BUDGET / p.gates as f64).min(1.0)), 1)
+}
+
+fn scanned(n: &Netlist) -> Netlist {
+    if n.is_combinational() {
+        n.clone()
+    } else {
+        full_scan(n).into_combinational()
+    }
+}
+
+/// Contract 1: `analyze` reports nothing of warning severity or worse on
+/// a generated profile — neither on the circuit as written (DFFs intact)
+/// nor on its full-scan version.
+fn assert_check_clean(netlist: &Netlist, label: &str) {
+    for (variant, n) in [
+        ("as-written", netlist.clone()),
+        ("full-scan", scanned(netlist)),
+    ] {
+        let report = analyze(&n);
+        assert!(
+            !report.has_findings(),
+            "{label} ({variant}): fbist check not clean:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// Contracts 2 and 3: prepass-on vs prepass-off ATPG, plus pruned-fault
+/// classification, for one netlist.
+fn assert_prepass_equivalent(netlist: &Netlist, label: &str) {
+    let n = scanned(netlist);
+    let atpg = Atpg::new(&n).unwrap();
+    let faults = FaultList::collapsed(&n);
+    let statically_proven = untestable_faults(&n, &faults).unwrap();
+    for jobs in [1usize, 4] {
+        let run = |static_prepass: bool| {
+            atpg.run(
+                &faults,
+                &AtpgConfig {
+                    jobs,
+                    static_prepass,
+                    ..AtpgConfig::default()
+                },
+            )
+        };
+        let off = run(false);
+        let on = run(true);
+        // detection must be bit-identical: same detected set, same
+        // patterns, same random-phase statistics
+        assert_eq!(
+            off.detected, on.detected,
+            "{label} jobs={jobs}: detected set changed"
+        );
+        assert_eq!(
+            off.patterns, on.patterns,
+            "{label} jobs={jobs}: patterns changed"
+        );
+        assert_eq!(
+            off.random_detected, on.random_detected,
+            "{label} jobs={jobs}: random-phase statistics changed"
+        );
+        // classification may only improve: pruned faults are untestable,
+        // never aborted, never detected
+        for (id, f) in faults.iter() {
+            if !statically_proven[id.index()] {
+                continue;
+            }
+            assert!(
+                on.untestable.contains(&id),
+                "{label} jobs={jobs}: pruned fault {} not reported untestable",
+                f.describe(&n)
+            );
+            assert!(
+                !on.aborted.contains(&id),
+                "{label} jobs={jobs}: pruned fault {} still aborted",
+                f.describe(&n)
+            );
+            assert!(
+                !on.detected.get(id.index()),
+                "{label} jobs={jobs}: pruned fault {} detected — unsound proof",
+                f.describe(&n)
+            );
+        }
+        assert!(
+            on.untestable.len() >= off.untestable.len(),
+            "{label} jobs={jobs}: prepass lost untestable classifications"
+        );
+    }
+}
+
+macro_rules! analyze_equivalence_tests {
+    ($($test:ident => $profile:literal),+ $(,)?) => {$(
+        mod $test {
+            use super::*;
+
+            #[test]
+            fn check_is_clean() {
+                let p = genbench_profile($profile).expect("profile registered");
+                assert_check_clean(&small(&p), $profile);
+            }
+
+            #[test]
+            fn prepass_preserves_detection() {
+                let p = genbench_profile($profile).expect("profile registered");
+                assert_prepass_equivalent(&small(&p), $profile);
+            }
+        }
+    )+};
+}
+
+// one module per profile so the harness runs them in parallel
+analyze_equivalence_tests! {
+    analyze_c499 => "c499",
+    analyze_c880 => "c880",
+    analyze_c1355 => "c1355",
+    analyze_c1908 => "c1908",
+    analyze_c7552 => "c7552",
+    analyze_s420 => "s420",
+    analyze_s641 => "s641",
+    analyze_s820 => "s820",
+    analyze_s838 => "s838",
+    analyze_s953 => "s953",
+    analyze_s1238 => "s1238",
+    analyze_s1423 => "s1423",
+    analyze_s5378 => "s5378",
+    analyze_s9234 => "s9234",
+    analyze_s13207 => "s13207",
+    analyze_s15850 => "s15850",
+    analyze_tiny64 => "tiny64",
+    analyze_mid256 => "mid256",
+    analyze_big3500 => "big3500",
+    analyze_xl7000 => "xl7000",
+}
+
+#[test]
+fn analyze_macro_covers_every_profile() {
+    // fail loudly if a profile is ever added without an analyze test
+    assert_eq!(
+        all_profiles().len(),
+        20,
+        "update analyze_equivalence_tests!"
+    );
+}
+
+/// Strategy: a random small netlist with *deliberate* redundancy — gates
+/// may reuse one net on several pins and reconverge through inverters, so
+/// the untestability pre-pass has something to prove.
+fn arb_redundant_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..5, 5usize..30, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        let mut n = Netlist::new("prop");
+        let mut nets = Vec::new();
+        for i in 0..inputs {
+            nets.push(n.add_input(format!("i{i}")));
+        }
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for g in 0..gates {
+            let kinds = [
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+                GateKind::Not,
+                GateKind::Buff,
+            ];
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            let fanin_count = if matches!(kind, GateKind::Not | GateKind::Buff) {
+                1
+            } else {
+                2
+            };
+            // duplicates allowed on purpose: AND(x, x)-style gates and
+            // reconvergent pairs are where untestable faults live
+            let fanin: Vec<_> = (0..fanin_count)
+                .map(|_| nets[(next() % nets.len() as u64) as usize])
+                .collect();
+            let id = n.add_gate(kind, format!("g{g}"), fanin).unwrap();
+            nets.push(id);
+        }
+        for k in 0..2.min(nets.len()) {
+            n.add_output(nets[nets.len() - 1 - k]);
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Soundness: a statically-proven untestable fault is never detected —
+    /// not by random patterns, not by the full ATPG test set.
+    #[test]
+    fn proven_untestable_faults_are_never_detected(
+        netlist in arb_redundant_netlist(),
+        pseed in any::<u64>(),
+    ) {
+        let faults = FaultList::full(&netlist);
+        let mask = untestable_faults(&netlist, &faults).unwrap();
+        let fsim = FaultSimulator::new(&netlist).unwrap();
+
+        // random pattern sets
+        let w = netlist.inputs().len();
+        let mut s = pseed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+        let random: Vec<BitVec> = (0..32).map(|_| BitVec::random_with(w, &mut next)).collect();
+        let detected = fsim.detects(&random, &faults);
+
+        // the full ATPG run (targets the same list, generates its own set)
+        let atpg = Atpg::new(&netlist).unwrap();
+        let r = atpg.run(&faults, &AtpgConfig::default());
+        let atpg_detected = fsim.detects(&r.patterns, &faults);
+
+        for (id, f) in faults.iter() {
+            if !mask[id.index()] {
+                continue;
+            }
+            prop_assert!(
+                !detected.get(id.index()),
+                "random patterns detect proven-untestable {}",
+                f.describe(&netlist)
+            );
+            prop_assert!(
+                !atpg_detected.get(id.index()) && !r.detected.get(id.index()),
+                "ATPG detects proven-untestable {}",
+                f.describe(&netlist)
+            );
+        }
+    }
+}
