@@ -39,7 +39,9 @@ impl Structure {
         // *live* when its gate observes (or is a DFF, whose D value the
         // scan chain exposes) and no *sibling* pin is stuck at the gate's
         // controlling value — a controlling side input freezes the output,
-        // so no fault effect can pass.
+        // so no fault effect can pass. The constant controlling pins
+        // themselves stay live: a fault inside their cones can flip them
+        // (all at once, if they share a driver) and unfreeze the gate.
         let mut obs = is_output.clone();
         for &id in order.iter().rev() {
             let g = netlist.gate(id);
@@ -57,24 +59,24 @@ impl Structure {
                     }
                 }
                 Some(c) => {
-                    let ctrl_pins: Vec<usize> = fanin
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, d)| consts[d.index()] == Some(c))
-                        .map(|(p, _)| p)
-                        .collect();
-                    match ctrl_pins.len() {
-                        0 => {
-                            for &d in fanin {
-                                obs[d.index()] = true;
-                            }
+                    let mut any_ctrl = false;
+                    for &d in fanin {
+                        if consts[d.index()] == Some(c) {
+                            any_ctrl = true;
+                            // A constant controlling pin blocks its
+                            // non-constant siblings, but the constant
+                            // cones themselves must stay observable: the
+                            // output unfreezes only if *every* controlling
+                            // pin flips, and a fault able to do that (e.g.
+                            // in a shared upstream driver) lies in each of
+                            // those pins' cones.
+                            obs[d.index()] = true;
                         }
-                        // With exactly one controlling constant pin, only
-                        // that pin's own effect could still pass (all its
-                        // siblings are non-controlling); everyone else is
-                        // blocked by it.
-                        1 => obs[fanin[ctrl_pins[0]].index()] = true,
-                        _ => {}
+                    }
+                    if !any_ctrl {
+                        for &d in fanin {
+                            obs[d.index()] = true;
+                        }
                     }
                 }
             }
@@ -173,6 +175,37 @@ mod tests {
         assert!(s.obs[n.find("y").unwrap().index()]);
         assert!(s.unobservable.is_empty());
         assert!(s.floating.is_empty());
+    }
+
+    #[test]
+    fn shared_fanout_constant_cone_stays_observable() {
+        // t1 and t2 are both constant controlling pins of h, but they
+        // share the upstream driver s: the single fault s/1 flips both
+        // at once and shows at h, so the whole constant cone must stay
+        // observable even with >= 2 controlling pins.
+        let src = "OUTPUT(h)\nc = CONST0()\ns = BUFF(c)\n\
+                   t1 = BUFF(s)\nt2 = BUFF(s)\nh = AND(t1, t2)\n";
+        let (s, n) = structure(src);
+        for name in ["c", "s", "t1", "t2"] {
+            assert!(s.obs[n.find(name).unwrap().index()], "{name} blocked");
+        }
+        assert!(s.unobservable.is_empty());
+    }
+
+    #[test]
+    fn independent_constant_controlling_pins_stay_observable() {
+        // Two controlling pins from *independent* constant cones: no
+        // single fault unfreezes y, but observability is only an
+        // over-approximation — both cones must still be marked live
+        // (the excitation check handles the rest), and only the free
+        // sibling a is blocked.
+        let src = "INPUT(a)\nOUTPUT(y)\nc0 = CONST0()\nc1 = CONST0()\n\
+                   b0 = BUFF(c0)\nb1 = BUFF(c1)\ny = AND(b0, b1, a)\n";
+        let (s, n) = structure(src);
+        for name in ["c0", "c1", "b0", "b1"] {
+            assert!(s.obs[n.find(name).unwrap().index()], "{name} blocked");
+        }
+        assert!(!s.obs[n.find("a").unwrap().index()]);
     }
 
     #[test]

@@ -189,6 +189,24 @@ mod tests {
     }
 
     #[test]
+    fn shared_constant_cone_faults_are_not_claimed() {
+        // t1 and t2 are both constant controlling pins of h but share
+        // the driver s: s/1 (and c/1, h/1) flips h 0 -> 1 on every
+        // pattern, so they are detectable and must never be proven.
+        // s/0 and h/0 agree with the baseline constant: untestable.
+        let src = "OUTPUT(h)\nc = CONST0()\ns = BUFF(c)\n\
+                   t1 = BUFF(s)\nt2 = BUFF(s)\nh = AND(t1, t2)\n";
+        let (mask, faults, n) = proven(src);
+        let named = describe_proven(&mask, &faults, &n);
+        for f in ["s/1", "c/1", "h/1"] {
+            assert!(!named.contains(&f.to_owned()), "{f} claimed: {named:?}");
+        }
+        for f in ["s/0", "h/0"] {
+            assert!(named.contains(&f.to_owned()), "{f} missing: {named:?}");
+        }
+    }
+
+    #[test]
     fn proven_faults_are_never_detected_by_exhaustive_patterns() {
         // Exhaustive check on a small redundant circuit: no input pattern
         // detects any proven-untestable fault.

@@ -169,6 +169,73 @@ analyze_equivalence_tests! {
     analyze_xl7000 => "xl7000",
 }
 
+/// Hand-written dead-logic fixtures: constant cones *with fanout* feeding
+/// gates through two or more controlling pins — a class genbench never
+/// emits, and exactly where an unsound observability analysis would prune
+/// testable faults (a single fault in a shared upstream driver flips every
+/// controlling pin at once and is detectable).
+const DEAD_LOGIC_FIXTURES: &[(&str, &str)] = &[
+    (
+        "shared-const0-and",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(h)\nOUTPUT(w)\n\
+         c = CONST0()\ns = BUFF(c)\nt1 = BUFF(s)\nt2 = BUFF(s)\n\
+         h = AND(t1, t2)\nw = NAND(a, b)\n",
+    ),
+    (
+        "shared-const1-or",
+        "INPUT(a)\nOUTPUT(y)\nk = CONST1()\nu = BUFF(k)\n\
+         p = BUFF(u)\nq = BUFF(u)\ny = OR(p, q, a)\n",
+    ),
+    (
+        "independent-const-pins",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+         c0 = CONST0()\nc1 = CONST0()\nb0 = BUFF(c0)\nb1 = BUFF(c1)\n\
+         y = AND(b0, b1, a)\nz = NOR(a, b)\n",
+    ),
+    (
+        "const-fanout-same-net-pins",
+        "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\n\
+         c = CONST1()\nm = BUFF(c)\ny = NOR(m, m)\nz = AND(a, c)\n",
+    ),
+];
+
+/// The dead-logic fixtures go through the same prepass-on/off contracts
+/// as the genbench profiles: detection must be byte-identical and every
+/// pruned fault really untestable, even with shared-fanout constant cones.
+#[test]
+fn dead_logic_fixtures_prepass_preserves_detection() {
+    for (label, src) in DEAD_LOGIC_FIXTURES {
+        let n = bench::parse(src).expect(label);
+        assert_prepass_equivalent(&n, label);
+    }
+}
+
+/// The shared-cone fixtures contain dead logic (constant nets) but every
+/// gate still has a sensitisable path to an output — `fbist check` must
+/// flag the constants without inventing `unobservable` findings.
+#[test]
+fn dead_logic_fixtures_have_no_false_unobservable_findings() {
+    for (label, src) in ["shared-const0-and", "const-fanout-same-net-pins"]
+        .iter()
+        .map(|l| {
+            DEAD_LOGIC_FIXTURES
+                .iter()
+                .find(|(name, _)| name == l)
+                .expect("fixture registered")
+        })
+    {
+        let n = bench::parse(src).expect(label);
+        let report = analyze(&n);
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"constant-net"), "{label}: {codes:?}");
+        assert!(
+            !codes.contains(&"unobservable"),
+            "{label}: false unobservable finding:\n{}",
+            report.render_text()
+        );
+    }
+}
+
 #[test]
 fn analyze_macro_covers_every_profile() {
     // fail loudly if a profile is ever added without an analyze test
@@ -181,7 +248,10 @@ fn analyze_macro_covers_every_profile() {
 
 /// Strategy: a random small netlist with *deliberate* redundancy — gates
 /// may reuse one net on several pins and reconverge through inverters, so
-/// the untestability pre-pass has something to prove.
+/// the untestability pre-pass has something to prove. CONST0/CONST1 gates
+/// are emitted too; their nets get reused like any other, producing
+/// constant cones with fanout and gates with several constant controlling
+/// pins — the class where observability blocking must stay sound.
 fn arb_redundant_netlist() -> impl Strategy<Value = Netlist> {
     (2usize..5, 5usize..30, any::<u64>()).prop_map(|(inputs, gates, seed)| {
         let mut n = Netlist::new("prop");
@@ -205,12 +275,14 @@ fn arb_redundant_netlist() -> impl Strategy<Value = Netlist> {
                 GateKind::Xor,
                 GateKind::Not,
                 GateKind::Buff,
+                GateKind::Const0,
+                GateKind::Const1,
             ];
             let kind = kinds[(next() % kinds.len() as u64) as usize];
-            let fanin_count = if matches!(kind, GateKind::Not | GateKind::Buff) {
-                1
-            } else {
-                2
+            let fanin_count = match kind {
+                GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::Not | GateKind::Buff => 1,
+                _ => 2,
             };
             // duplicates allowed on purpose: AND(x, x)-style gates and
             // reconvergent pairs are where untestable faults live
