@@ -9,7 +9,7 @@
 //! drop results and [`AtpgResult`] are bit-identical at any worker count —
 //! `jobs` is a pure throughput knob, pinned by `tests/atpg_equivalence.rs`.
 
-use fbist_bits::BitVec;
+use fbist_bits::{BitVec, SimdWidth};
 use fbist_fault::{FaultId, FaultList, FaultSimulator};
 use fbist_netlist::Netlist;
 use fbist_sim::SimError;
@@ -72,6 +72,13 @@ pub struct AtpgConfig {
     /// of the `atpg` stage key; the detected set and pattern sequence are
     /// unaffected because untestable faults never contribute patterns.
     pub static_prepass: bool,
+    /// SIMD block width for the packed fault simulations behind
+    /// dictionaries, drop passes and compaction checks
+    /// ([`SimdWidth::Auto`] widens only while the block count shrinks).
+    /// Like `jobs`, a pure throughput knob: every width computes
+    /// bit-identical detections (pinned by
+    /// `tests/simd_width_equivalence.rs`).
+    pub simd_width: SimdWidth,
 }
 
 impl Default for AtpgConfig {
@@ -86,6 +93,7 @@ impl Default for AtpgConfig {
             compact: true,
             jobs: 0,
             static_prepass: false,
+            simd_width: SimdWidth::Auto,
         }
     }
 }
@@ -216,7 +224,11 @@ impl Atpg {
             let batch: Vec<BitVec> = (0..config.random_batch)
                 .map(|_| BitVec::random_with(width, &mut || rng.gen::<u64>()))
                 .collect();
-            let res = self.fsim.run(&batch, &faults.subset(&remaining));
+            let res = self.fsim.run_wide(
+                &batch,
+                &faults.subset(&remaining),
+                config.simd_width.resolve(batch.len()),
+            );
             if res.detected_count() == 0 {
                 stall += 1;
                 continue;
@@ -321,8 +333,13 @@ impl Atpg {
                     _ => None,
                 })
                 .collect();
-            let dict = (!candidates.is_empty())
-                .then(|| self.fsim.dictionary(&candidates, &faults.subset(&targets)));
+            let dict = (!candidates.is_empty()).then(|| {
+                self.fsim.dictionary_wide(
+                    &candidates,
+                    &faults.subset(&targets),
+                    config.simd_width.resolve(candidates.len()),
+                )
+            });
             let mut row = 0usize;
             let round_start = patterns.len();
             for (j, &fid) in targets.iter().enumerate() {
@@ -366,9 +383,12 @@ impl Atpg {
             // patterns (≤ one packed 64-lane block) against everything
             // still undetected, instead of one `detects` call per test.
             if patterns.len() > round_start {
-                let det = self
-                    .fsim
-                    .detects(&patterns[round_start..], &faults.subset(&remaining));
+                let round = &patterns[round_start..];
+                let det = self.fsim.detects_wide(
+                    round,
+                    &faults.subset(&remaining),
+                    config.simd_width.resolve(round.len()),
+                );
                 for (sub, &orig) in remaining.iter().enumerate() {
                     if det.get(sub) {
                         detected.set(orig.index(), true);
@@ -387,7 +407,7 @@ impl Atpg {
 
         // ---- Phase 3: reverse-order compaction --------------------------
         if config.compact && patterns.len() > 1 {
-            patterns = self.compacted_or_fallback(patterns, faults, detected.count_ones());
+            patterns = self.compacted_or_fallback(patterns, faults, detected.count_ones(), config);
         }
 
         AtpgResult {
@@ -412,9 +432,12 @@ impl Atpg {
         patterns: Vec<BitVec>,
         faults: &FaultList,
         expected_detected: usize,
+        config: &AtpgConfig,
     ) -> Vec<BitVec> {
         let reversed: Vec<BitVec> = patterns.iter().rev().cloned().collect();
-        let res = self.fsim.run(&reversed, faults);
+        let res = self
+            .fsim
+            .run_wide(&reversed, faults, config.simd_width.resolve(reversed.len()));
         if res.detected.count_ones() != expected_detected {
             eprintln!(
                 "fbist-atpg: compaction changed coverage ({} != {} faults); \
@@ -592,11 +615,12 @@ mod tests {
             },
         );
         let impossible = r.detected.count_ones() + 1;
-        let kept = atpg.compacted_or_fallback(r.patterns.clone(), &faults, impossible);
+        let cfg = AtpgConfig::default();
+        let kept = atpg.compacted_or_fallback(r.patterns.clone(), &faults, impossible, &cfg);
         assert_eq!(kept, r.patterns, "mismatch must return the input set");
         // and with the true coverage the pass compacts as usual
         let compacted =
-            atpg.compacted_or_fallback(r.patterns.clone(), &faults, r.detected.count_ones());
+            atpg.compacted_or_fallback(r.patterns.clone(), &faults, r.detected.count_ones(), &cfg);
         assert!(compacted.len() <= r.patterns.len());
         let check = atpg.fsim.detects(&compacted, &faults);
         assert_eq!(check.count_ones(), r.detected.count_ones());

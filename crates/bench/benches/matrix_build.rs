@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fbist_bench::build_circuit;
 use fbist_genbench::profile;
-use reseed_core::{FlowConfig, InitialReseedingBuilder, MatrixBuild, TpgKind};
+use reseed_core::{FlowConfig, InitialReseedingBuilder, MatrixBuild, SimdWidth, TpgKind};
 
 fn bench_matrix_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("matrix_build");
@@ -38,6 +38,7 @@ fn bench_matrix_build(c: &mut Criterion) {
                     cfg.seed,
                     1,
                     engine,
+                    SimdWidth::W1,
                 )
             };
             assert_eq!(

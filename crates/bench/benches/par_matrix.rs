@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fbist_bench::build_circuit;
 use fbist_genbench::profile;
-use reseed_core::{FlowConfig, InitialReseedingBuilder, MatrixBuild, TpgKind};
+use reseed_core::{FlowConfig, InitialReseedingBuilder, MatrixBuild, SimdWidth, TpgKind};
 
 fn bench_par_matrix(c: &mut Criterion) {
     let p = profile("s1238").expect("paper circuit").scaled(0.3);
@@ -28,6 +28,7 @@ fn bench_par_matrix(c: &mut Criterion) {
             cfg.seed,
             jobs,
             MatrixBuild::Auto,
+            SimdWidth::Auto,
         )
     };
     let hw = mini_rayon::jobs().max(2);

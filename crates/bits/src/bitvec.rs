@@ -113,6 +113,20 @@ impl BitVec {
         v
     }
 
+    /// Creates a bit vector of the given width by taking ownership of a
+    /// little-endian word buffer, avoiding [`from_words`](Self::from_words)'
+    /// copy — the constructor of choice when a hot loop has just filled the
+    /// buffer (e.g. word-at-a-time pattern generation).
+    ///
+    /// The buffer is resized to the exact storage size (extra words dropped,
+    /// missing words zero) and unused high bits of the last word are cleared.
+    pub fn from_word_vec(width: usize, mut words: Vec<u64>) -> Self {
+        words.resize(words_for(width), 0);
+        let mut v = BitVec { width, words };
+        v.normalize();
+        v
+    }
+
     /// Creates a uniformly random bit vector using the supplied word source.
     ///
     /// The closure is called once per 64-bit storage word. Taking a closure

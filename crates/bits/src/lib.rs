@@ -12,7 +12,9 @@
 //! * [`BitMatrix`] — a dense two-dimensional bit matrix, the backing store
 //!   of the paper's *Detection Matrix*;
 //! * [`pack`] — helpers to transpose pattern sets into the 64-way packed
-//!   ("bit-parallel") layout used by the logic and fault simulators.
+//!   ("bit-parallel") layout used by the logic and fault simulators;
+//! * [`SimWord`] / [`SimdWidth`] — the width-parametric `[u64; W]`
+//!   simulation block word and the throughput knob that selects `W`.
 //!
 //! # Example
 //!
@@ -33,10 +35,12 @@ mod bitvec;
 mod cube;
 mod matrix;
 pub mod pack;
+pub mod simd;
 
 pub use bitvec::{BitVec, ParseBitVecError};
 pub use cube::{Cube, Trit};
 pub use matrix::BitMatrix;
+pub use simd::{SimWord, SimdWidth, SIMD_WIDTHS};
 
 /// Number of bits in one storage word.
 pub const WORD_BITS: usize = 64;

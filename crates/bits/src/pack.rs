@@ -1,11 +1,14 @@
 //! Transposition between pattern-major and signal-major bit layouts.
 //!
 //! The logic and fault simulators in this workspace are *bit-parallel*: one
-//! `u64` word per circuit signal carries the value of that signal under up
-//! to 64 different input patterns simultaneously (bit `k` of the word is the
-//! value under pattern `k`). Test sets, on the other hand, are naturally
+//! block word per circuit signal carries the value of that signal under up
+//! to `64·W` different input patterns simultaneously (flat lane `k` of the
+//! word is the value under pattern `k` — see [`SimWord`] for the lane
+//! numbering contract). Test sets, on the other hand, are naturally
 //! stored pattern-major (one [`BitVec`] per pattern, one bit per input).
-//! This module converts between the two layouts.
+//! This module converts between the two layouts, in both the classic
+//! one-`u64` (`W = 1`) form and the width-generic [`SimWord<W>`] form —
+//! the `u64` functions are exactly the `W = 1` instantiations.
 //!
 //! # Example
 //!
@@ -22,8 +25,9 @@
 //! ```
 
 use crate::bitvec::BitVec;
+use crate::simd::SimWord;
 
-/// Maximum number of patterns per packed block.
+/// Maximum number of patterns per packed `u64` block (= lanes per word).
 pub const BLOCK: usize = 64;
 
 /// Packs up to 64 patterns into signal-major words.
@@ -35,15 +39,25 @@ pub const BLOCK: usize = 64;
 ///
 /// Panics if any pattern's width differs from `inputs`.
 pub fn pack_patterns(inputs: usize, patterns: &[BitVec]) -> Vec<u64> {
-    let mut words = vec![0u64; inputs];
-    for (k, p) in patterns.iter().take(BLOCK).enumerate() {
-        assert_eq!(p.width(), inputs, "pattern {k} width mismatch");
-        for (i, word) in words.iter_mut().enumerate() {
-            if p.get(i) {
-                *word |= 1u64 << k;
-            }
-        }
-    }
+    pack_patterns_w::<1>(inputs, patterns)
+        .into_iter()
+        .map(|w| w.0[0])
+        .collect()
+}
+
+/// Packs up to `64·W` patterns into signal-major [`SimWord`]s.
+///
+/// Width-generic [`pack_patterns`]: flat lane `k` of word `i` is the value
+/// of input `i` under pattern `k`. Patterns beyond the first `64·W` are
+/// ignored.
+///
+/// # Panics
+///
+/// Panics if any pattern's width differs from `inputs`.
+pub fn pack_patterns_w<const W: usize>(inputs: usize, patterns: &[BitVec]) -> Vec<SimWord<W>> {
+    let mut words = vec![SimWord::<W>::ZERO; inputs];
+    let take = patterns.len().min(SimWord::<W>::LANES);
+    pack_patterns_at_w(&mut words, 0, &patterns[..take]);
     words
 }
 
@@ -52,11 +66,41 @@ pub fn pack_patterns(inputs: usize, patterns: &[BitVec]) -> Vec<u64> {
 /// Returns `(blocks, patterns_in_last_block)`. An empty input yields no
 /// blocks.
 pub fn pack_blocks(inputs: usize, patterns: &[BitVec]) -> (Vec<Vec<u64>>, usize) {
-    let mut blocks = Vec::with_capacity(patterns.len().div_ceil(BLOCK));
+    let (blocks, last) = pack_blocks_w::<1>(inputs, patterns);
+    (
+        blocks
+            .into_iter()
+            .map(|b| b.into_iter().map(|w| w.0[0]).collect())
+            .collect(),
+        last,
+    )
+}
+
+/// Splits a pattern set into packed blocks of at most `64·W` patterns
+/// each, in a single pass over the patterns.
+///
+/// Returns `(blocks, patterns_in_last_block)`. An empty input yields no
+/// blocks.
+///
+/// # Panics
+///
+/// Panics if any pattern's width differs from `inputs`.
+pub fn pack_blocks_w<const W: usize>(
+    inputs: usize,
+    patterns: &[BitVec],
+) -> (Vec<Vec<SimWord<W>>>, usize) {
+    let lanes = SimWord::<W>::LANES;
+    let mut blocks: Vec<Vec<SimWord<W>>> = Vec::with_capacity(patterns.len().div_ceil(lanes));
     let mut last = 0;
-    for chunk in patterns.chunks(BLOCK) {
-        blocks.push(pack_patterns(inputs, chunk));
-        last = chunk.len();
+    for (k, p) in patterns.iter().enumerate() {
+        let lane = k % lanes;
+        if lane == 0 {
+            blocks.push(vec![SimWord::<W>::ZERO; inputs]);
+        }
+        let block = blocks.last_mut().expect("pushed above");
+        assert_eq!(p.width(), inputs, "pattern {k} width mismatch");
+        scatter_pattern(block, lane, p);
+        last = lane + 1;
     }
     (blocks, last)
 }
@@ -71,6 +115,27 @@ pub fn unpack_patterns(words: &[u64], count: usize) -> Vec<BitVec> {
             let mut p = BitVec::zeros(words.len());
             for (i, &w) in words.iter().enumerate() {
                 if (w >> k) & 1 == 1 {
+                    p.set(i, true);
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+/// Unpacks signal-major [`SimWord`]s back into `count` pattern-major
+/// [`BitVec`]s. Inverse of [`pack_patterns_w`] for `count <= 64·W`.
+pub fn unpack_patterns_w<const W: usize>(words: &[SimWord<W>], count: usize) -> Vec<BitVec> {
+    assert!(
+        count <= SimWord::<W>::LANES,
+        "cannot unpack more than {} patterns",
+        SimWord::<W>::LANES
+    );
+    (0..count)
+        .map(|k| {
+            let mut p = BitVec::zeros(words.len());
+            for (i, w) in words.iter().enumerate() {
+                if w.lane(k) {
                     p.set(i, true);
                 }
             }
@@ -98,6 +163,17 @@ pub const fn lane_mask(n: usize) -> u64 {
     }
 }
 
+/// A [`SimWord`] mask with the low `n` flat lanes set — the width-generic
+/// [`lane_mask`].
+#[inline]
+pub fn lane_mask_w<const W: usize>(n: usize) -> SimWord<W> {
+    let mut out = SimWord::<W>::ZERO;
+    for (i, w) in out.0.iter_mut().enumerate() {
+        *w = lane_mask(n.saturating_sub(i * BLOCK));
+    }
+    out
+}
+
 /// A mask with `len` bits set starting at lane `start` — selects one *lane
 /// group* of a shared block (the lanes one batched row occupies).
 ///
@@ -110,11 +186,38 @@ pub const fn lane_mask(n: usize) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if the group overruns the block (`start + len > 64`).
+/// Panics if the group overruns the block — `start + len > 64`, including
+/// `start + len` combinations that would overflow `usize` (checked
+/// arithmetic, so release builds panic instead of silently wrapping into
+/// an in-range group).
 #[inline]
 pub const fn lane_group_mask(start: usize, len: usize) -> u64 {
-    assert!(start + len <= BLOCK, "lane group overruns the block");
-    lane_mask(len) << start
+    match start.checked_add(len) {
+        Some(end) if end <= BLOCK => lane_mask(len) << start,
+        _ => panic!("lane group overruns the block"),
+    }
+}
+
+/// A [`SimWord`] mask with `len` flat lanes set starting at lane `start` —
+/// the width-generic [`lane_group_mask`].
+///
+/// # Panics
+///
+/// Panics (checked arithmetic, never silent wraparound) if the group
+/// overruns the flat lane space: `start + len > 64·W`.
+#[inline]
+pub fn lane_group_mask_w<const W: usize>(start: usize, len: usize) -> SimWord<W> {
+    match start.checked_add(len) {
+        Some(end) if end <= SimWord::<W>::LANES => {}
+        _ => panic!("lane group overruns the block"),
+    }
+    let mut out = SimWord::<W>::ZERO;
+    for (i, w) in out.0.iter_mut().enumerate() {
+        let lo = start.saturating_sub(i * BLOCK).min(BLOCK);
+        let hi = (start + len).saturating_sub(i * BLOCK).min(BLOCK);
+        *w = lane_mask(hi) & !lane_mask(lo);
+    }
+    out
 }
 
 /// Packs patterns into an existing block of signal-major words, occupying
@@ -137,10 +240,52 @@ pub fn pack_patterns_at(words: &mut [u64], lane_offset: usize, patterns: &[BitVe
     for (k, p) in patterns.iter().enumerate() {
         assert_eq!(p.width(), words.len(), "pattern {k} width mismatch");
         let bit = 1u64 << (lane_offset + k);
-        for (i, word) in words.iter_mut().enumerate() {
-            if p.get(i) {
-                *word |= bit;
+        for (i, &pw) in p.as_words().iter().enumerate() {
+            let mut m = pw;
+            while m != 0 {
+                words[i * BLOCK + m.trailing_zeros() as usize] |= bit;
+                m &= m - 1;
             }
+        }
+    }
+}
+
+/// Packs patterns into an existing block of signal-major [`SimWord`]s,
+/// occupying the flat lanes `lane_offset..lane_offset + patterns.len()` —
+/// the width-generic [`pack_patterns_at`].
+///
+/// # Panics
+///
+/// Panics if the group overruns the flat lane space or a pattern's width
+/// differs from `words.len()`.
+pub fn pack_patterns_at_w<const W: usize>(
+    words: &mut [SimWord<W>],
+    lane_offset: usize,
+    patterns: &[BitVec],
+) {
+    assert!(
+        lane_offset + patterns.len() <= SimWord::<W>::LANES,
+        "lane group overruns the block: offset {lane_offset} + {} patterns",
+        patterns.len()
+    );
+    for (k, p) in patterns.iter().enumerate() {
+        assert_eq!(p.width(), words.len(), "pattern {k} width mismatch");
+        scatter_pattern(words, lane_offset + k, p);
+    }
+}
+
+/// Sets flat lane `lane` of `words[i]` for every set bit `i` of `p`,
+/// scanning the pattern word-at-a-time (one `trailing_zeros` per set bit
+/// instead of one `get` per input).
+#[inline]
+fn scatter_pattern<const W: usize>(words: &mut [SimWord<W>], lane: usize, p: &BitVec) {
+    let wi = lane / BLOCK;
+    let bit = 1u64 << (lane % BLOCK);
+    for (i, &pw) in p.as_words().iter().enumerate() {
+        let mut m = pw;
+        while m != 0 {
+            words[i * BLOCK + m.trailing_zeros() as usize].0[wi] |= bit;
+            m &= m - 1;
         }
     }
 }
@@ -158,6 +303,29 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_roundtrip_wide() {
+        let patterns: Vec<BitVec> = (0..200u64).map(|v| BitVec::from_u64(9, v * 37)).collect();
+        let words = pack_patterns_w::<4>(9, &patterns);
+        let back = unpack_patterns_w(&words, 200);
+        assert_eq!(back, patterns);
+    }
+
+    #[test]
+    fn wide_block_is_consecutive_narrow_blocks() {
+        // lane k of a W-wide block == lane k%64 of narrow block k/64: the
+        // flat-lane contract that makes every width byte-identical.
+        let patterns: Vec<BitVec> = (0..130u64).map(|v| BitVec::from_u64(7, v * 31)).collect();
+        let wide = pack_patterns_w::<4>(7, &patterns);
+        let (narrow, _) = pack_blocks(7, &patterns);
+        for i in 0..7 {
+            for (b, nb) in narrow.iter().enumerate() {
+                assert_eq!(wide[i].0[b], nb[i], "input {i} word {b}");
+            }
+            assert_eq!(wide[i].0[3], 0, "lanes past the pattern count stay 0");
+        }
+    }
+
+    #[test]
     fn pack_blocks_chunks() {
         let patterns: Vec<BitVec> = (0..130u64).map(|v| BitVec::from_u64(5, v)).collect();
         let (blocks, last) = pack_blocks(5, &patterns);
@@ -166,6 +334,16 @@ mod tests {
         let back = unpack_patterns(&blocks[2], last);
         assert_eq!(back[0], patterns[128]);
         assert_eq!(back[1], patterns[129]);
+    }
+
+    #[test]
+    fn pack_blocks_wide_chunks() {
+        let patterns: Vec<BitVec> = (0..300u64).map(|v| BitVec::from_u64(5, v)).collect();
+        let (blocks, last) = pack_blocks_w::<2>(5, &patterns);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(last, 300 - 2 * 128);
+        let back = unpack_patterns_w(&blocks[2], last);
+        assert_eq!(back, patterns[256..]);
     }
 
     #[test]
@@ -179,6 +357,15 @@ mod tests {
     fn lane_masks() {
         assert_eq!(lane_mask(1), 1);
         assert_eq!(lane_mask(63).count_ones(), 63);
+    }
+
+    #[test]
+    fn lane_masks_wide() {
+        assert_eq!(lane_mask_w::<2>(0), SimWord::ZERO);
+        assert_eq!(lane_mask_w::<2>(128), SimWord::MAX);
+        let m = lane_mask_w::<2>(70);
+        assert_eq!(m.0, [u64::MAX, 0b11_1111]);
+        assert_eq!(m.count_ones(), 70);
     }
 
     #[test]
@@ -204,10 +391,39 @@ mod tests {
     }
 
     #[test]
+    fn pack_at_wide_matches_whole_block_packing() {
+        let a: Vec<BitVec> = (0..80u64).map(|v| BitVec::from_u64(6, v * 11)).collect();
+        let b: Vec<BitVec> = (0..47u64).map(|v| BitVec::from_u64(6, v * 23)).collect();
+        let mut concat = a.clone();
+        concat.extend(b.iter().cloned());
+        let whole = pack_patterns_w::<2>(6, &concat);
+        let mut words = vec![SimWord::<2>::ZERO; 6];
+        pack_patterns_at_w(&mut words, 0, &a);
+        pack_patterns_at_w(&mut words, 80, &b);
+        assert_eq!(words, whole);
+    }
+
+    #[test]
     fn lane_group_masks_tile_the_block() {
         assert_eq!(lane_group_mask(0, 10) | lane_group_mask(10, 54), u64::MAX);
         assert_eq!(lane_group_mask(0, 10) & lane_group_mask(10, 54), 0);
         assert_eq!(lane_group_mask(63, 1), 1u64 << 63);
+    }
+
+    #[test]
+    fn lane_group_masks_wide() {
+        // a group straddling word boundaries sets exactly its flat lanes
+        let m = lane_group_mask_w::<4>(60, 10);
+        assert_eq!(m.0, [0xF000_0000_0000_0000, 0b11_1111, 0, 0]);
+        assert_eq!(m.count_ones(), 10);
+        assert_eq!(m.trailing_zeros(), 60);
+        assert_eq!(lane_group_mask_w::<4>(0, 256), SimWord::MAX);
+        assert_eq!(lane_group_mask_w::<4>(100, 0), SimWord::ZERO);
+        // tiles the flat space like the u64 version tiles 64 lanes
+        let a = lane_group_mask_w::<2>(0, 100);
+        let b = lane_group_mask_w::<2>(100, 28);
+        assert_eq!(a | b, SimWord::MAX);
+        assert_eq!(a & b, SimWord::ZERO);
     }
 
     #[test]
@@ -216,5 +432,25 @@ mod tests {
         let mut words = vec![0u64; 2];
         let patterns = vec![BitVec::zeros(2); 10];
         pack_patterns_at(&mut words, 60, &patterns);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn lane_group_mask_overrun_panics() {
+        let _ = lane_group_mask(60, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn lane_group_mask_overflow_panics_not_wraps() {
+        // start + len overflows usize; without checked arithmetic the sum
+        // wraps into range and silently yields a bogus in-range mask
+        let _ = lane_group_mask(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn lane_group_mask_wide_overflow_panics_not_wraps() {
+        let _ = lane_group_mask_w::<8>(usize::MAX, 2);
     }
 }

@@ -46,7 +46,7 @@ use fbist_setcover::lp;
 use fbist_store::ArtifactStore;
 use reseed_core::{
     export, tradeoff_sweep_with, Backend, FlowConfig, Gatsby, GatsbyConfig,
-    InitialReseedingBuilder, MatrixBuild, ReseedingFlow, SweepEngine, TpgKind,
+    InitialReseedingBuilder, MatrixBuild, ReseedingFlow, SimdWidth, SweepEngine, TpgKind,
 };
 
 mod serve;
@@ -106,8 +106,10 @@ per-row|batched|auto (Detection-Matrix construction engine; auto batches
 whenever sharing 64-lane blocks across rows saves block evaluations) and
 --sweep-engine per-tau|first-detection|auto (τ-sweep evaluation; auto
 shares one first-detection simulation across all τ points whenever there
-are at least two). Results are identical for every job count, backend
-and engine.
+are at least two) and --simd-width auto|1|2|4|8 (fault-simulation block
+width in 64-lane words; auto picks the widest that still shrinks the
+block count). Results are identical for every job count, backend, engine
+and SIMD width.
 check runs the static analyses only (no simulation): structural errors,
 floating nets, unobservable logic, dead constants, and provably
 untestable stuck-at faults. It exits 0 when clean, 1 when anything of
@@ -131,12 +133,14 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing subcommand".into());
     };
     apply_jobs(args)?;
-    // validate --backend, --matrix-build and --sweep-engine globally
-    // (like --jobs) so a typo can never be silently ignored by a
-    // subcommand that does not solve a cover, build a matrix or sweep
+    // validate --backend, --matrix-build, --sweep-engine and
+    // --simd-width globally (like --jobs) so a typo can never be silently
+    // ignored by a subcommand that does not solve a cover, build a matrix
+    // or sweep
     parse_backend(args)?;
     parse_matrix_build(args)?;
     parse_sweep_engine(args)?;
+    parse_simd_width(args)?;
     let rest = &args[1..];
     match cmd.as_str() {
         "profiles" => cmd_profiles(),
@@ -195,6 +199,14 @@ fn parse_sweep_engine(args: &[String]) -> Result<SweepEngine, String> {
     }
 }
 
+fn parse_simd_width(args: &[String]) -> Result<SimdWidth, String> {
+    match flag(args, "--simd-width") {
+        None => Ok(SimdWidth::Auto),
+        Some(v) => SimdWidth::parse(&v)
+            .ok_or_else(|| format!("unknown SIMD width {v:?} (expected auto, 1, 2, 4 or 8)")),
+    }
+}
+
 /// Resolves the artifact store: `--no-store` disables it outright,
 /// `--store DIR` opens (creating if needed) the given directory, else the
 /// `FBIST_STORE` environment variable supplies the directory, else no
@@ -245,7 +257,7 @@ fn flow_for(args: &[String], netlist: &Netlist) -> Result<ReseedingFlow, String>
 
 /// Per-run store statistics, on stderr so stdout stays diffable between
 /// cold and warm runs. Silent when no store is attached.
-fn print_store_stats(flow: &ReseedingFlow) {
+fn print_store_stats(flow: &ReseedingFlow, simd_width: SimdWidth) {
     let stages = flow.stages();
     if let Some(store) = stages.store() {
         let s = stages.stats();
@@ -260,7 +272,28 @@ fn print_store_stats(flow: &ReseedingFlow) {
             s.atpg_misses,
             flow.builder().matrix_sim_passes()
         );
+        eprintln!("fbist: {}", simd_stats_line(flow, simd_width));
     }
+}
+
+/// One-line SIMD summary for stderr stats: the configured width knob and
+/// the simulator's width-aware lane-occupancy counters (a wide block
+/// contributes `64·W` lanes of capacity, so the ratio stays honest at
+/// every width).
+fn simd_stats_line(flow: &ReseedingFlow, simd_width: SimdWidth) -> String {
+    let occ = flow
+        .builder()
+        .fault_simulator()
+        .good_simulator()
+        .occupancy();
+    format!(
+        "simd_width={} sim_blocks={} sim_lanes={}/{} occupancy={:.3}",
+        simd_width,
+        occ.blocks,
+        occ.lanes,
+        occ.capacity,
+        occ.ratio()
+    )
 }
 
 /// Parses `--tau` with a default, rejecting values over the bound via
@@ -460,10 +493,11 @@ fn cmd_reseed(args: &[String]) -> Result<(), String> {
     let cfg = FlowConfig::new(tpg)
         .with_tau(tau)
         .with_backend(parse_backend(args)?)
-        .with_matrix_build(parse_matrix_build(args)?);
+        .with_matrix_build(parse_matrix_build(args)?)
+        .with_simd_width(parse_simd_width(args)?);
     let flow = flow_for(args, &n)?;
     let report = flow.run(&cfg);
-    print_store_stats(&flow);
+    print_store_stats(&flow, cfg.simd_width);
     if let Some(path) = flag(args, "--csv") {
         std::fs::write(&path, export::to_csv(&report))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -523,10 +557,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let cfg = FlowConfig::new(tpg)
         .with_backend(parse_backend(args)?)
         .with_matrix_build(parse_matrix_build(args)?)
-        .with_sweep_engine(parse_sweep_engine(args)?);
+        .with_sweep_engine(parse_sweep_engine(args)?)
+        .with_simd_width(parse_simd_width(args)?);
     let flow = flow_for(args, &n)?;
     let curve = tradeoff_sweep_with(&flow, &cfg, &taus);
-    print_store_stats(&flow);
+    print_store_stats(&flow, cfg.simd_width);
     println!(
         "{} [{}] — reseedings vs. test length (Figure 2)",
         n.name(),
@@ -551,18 +586,21 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let tau: usize = parse_tau(args, 31)?;
     let backend = parse_backend(args)?;
     let matrix_build = parse_matrix_build(args)?;
+    let simd_width = parse_simd_width(args)?;
     let flow = ReseedingFlow::new(&n).map_err(|e| e.to_string())?;
     let report = flow.run(
         &FlowConfig::new(tpg)
             .with_tau(tau)
             .with_backend(backend)
-            .with_matrix_build(matrix_build),
+            .with_matrix_build(matrix_build)
+            .with_simd_width(simd_width),
     );
     let gatsby = Gatsby::new(&n).map_err(|e| e.to_string())?;
     let init = flow.builder().build(
         &FlowConfig::new(tpg)
             .with_tau(tau)
-            .with_matrix_build(matrix_build),
+            .with_matrix_build(matrix_build)
+            .with_simd_width(simd_width),
     );
     let gres = gatsby.run(
         &init.target_faults,
@@ -603,7 +641,8 @@ fn cmd_lp(args: &[String]) -> Result<(), String> {
     let tau: usize = parse_tau(args, 31)?;
     let cfg = FlowConfig::new(tpg)
         .with_tau(tau)
-        .with_matrix_build(parse_matrix_build(args)?);
+        .with_matrix_build(parse_matrix_build(args)?)
+        .with_simd_width(parse_simd_width(args)?);
     let builder = InitialReseedingBuilder::new(&n).map_err(|e| e.to_string())?;
     let init = builder.build(&cfg);
     print!("{}", lp::to_lp(&init.matrix));
@@ -616,6 +655,39 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simd_width_flag_parses_every_width_and_defaults_to_auto() {
+        assert_eq!(parse_simd_width(&args(&[])), Ok(SimdWidth::Auto));
+        for (v, w) in [
+            ("auto", SimdWidth::Auto),
+            ("1", SimdWidth::W1),
+            ("2", SimdWidth::W2),
+            ("4", SimdWidth::W4),
+            ("8", SimdWidth::W8),
+        ] {
+            assert_eq!(parse_simd_width(&args(&["--simd-width", v])), Ok(w));
+        }
+    }
+
+    #[test]
+    fn simd_width_flag_rejects_garbage_with_a_clear_error() {
+        for bad in ["16", "0", "wide", "3", ""] {
+            let err = parse_simd_width(&args(&["--simd-width", bad])).unwrap_err();
+            assert!(
+                err.contains("unknown SIMD width") && err.contains("expected auto, 1, 2, 4 or 8"),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_width_typo_fails_every_subcommand() {
+        // validated globally like --jobs: even a subcommand that never
+        // simulates must reject the typo instead of silently ignoring it
+        let err = run(&args(&["stats", "c17", "--simd-width", "16"])).unwrap_err();
+        assert!(err.contains("unknown SIMD width"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! Answers go to stdout in submission order, one line per request —
 //! `ok <id> <summary>` or `err <id> <message>` — so the stream stays
 //! diffable between cold and warm stores. Per-request store statistics
-//! (stage hits/misses and `matrix_sim_passes`, plus `coalesced=1` for
+//! (stage hits/misses, `matrix_sim_passes`, the configured SIMD width
+//! with the simulator's lane-occupancy counters, plus `coalesced=1` for
 //! requests that shared another's evaluation) go to stderr.
 
 use std::io::{BufRead, Write};
@@ -31,8 +32,8 @@ use reseed_core::{
 };
 
 use crate::{
-    load_circuit, parse_backend, parse_matrix_build, parse_sweep_engine, parse_tau, parse_taus,
-    parse_tpg, resolve_store,
+    load_circuit, parse_backend, parse_matrix_build, parse_simd_width, parse_sweep_engine,
+    parse_tau, parse_taus, parse_tpg, resolve_store, simd_stats_line,
 };
 
 pub fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -80,7 +81,8 @@ fn parse_line(line: &str) -> Result<Parsed, String> {
     let mut config = FlowConfig::new(parse_tpg(rest)?)
         .with_backend(parse_backend(rest)?)
         .with_matrix_build(parse_matrix_build(rest)?)
-        .with_sweep_engine(parse_sweep_engine(rest)?);
+        .with_sweep_engine(parse_sweep_engine(rest)?)
+        .with_simd_width(parse_simd_width(rest)?);
     match kind.as_str() {
         "reseed" => {
             config = config.with_tau(parse_tau(rest, 31)?);
@@ -157,14 +159,15 @@ fn evaluate(p: &Parsed, store: &Option<ArtifactStore>) -> Evaluated {
     let s = flow.stages().stats();
     let stats = format!(
         "cover_hits={} cover_misses={} first_detection_hits={} first_detection_misses={} \
-         atpg_hits={} atpg_misses={} matrix_sim_passes={}",
+         atpg_hits={} atpg_misses={} matrix_sim_passes={} {}",
         s.cover_hits,
         s.cover_misses,
         s.first_detection_hits,
         s.first_detection_misses,
         s.atpg_hits,
         s.atpg_misses,
-        flow.builder().matrix_sim_passes()
+        flow.builder().matrix_sim_passes(),
+        simd_stats_line(&flow, p.config.simd_width)
     );
     Evaluated {
         summary: Ok(summary),

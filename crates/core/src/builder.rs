@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{FlowConfig, MatrixBuild};
+use fbist_bits::SimdWidth;
 
 /// The simulation-independent half of an [`InitialReseeding`]: one shared
 /// ATPG run and the target fault list it defines.
@@ -142,6 +143,7 @@ impl InitialReseedingBuilder {
             config.seed,
             config.jobs,
             config.matrix_build,
+            config.simd_width,
         );
 
         InitialReseeding {
@@ -191,6 +193,7 @@ impl InitialReseedingBuilder {
         seed: u64,
         jobs: usize,
         build: MatrixBuild,
+        simd_width: SimdWidth,
     ) -> (Vec<Triplet>, DetectionMatrix) {
         self.matrix_passes.fetch_add(1, Ordering::Relaxed);
         let triplets = derive_triplets(tpg, patterns, tau, seed);
@@ -201,13 +204,16 @@ impl InitialReseedingBuilder {
             // materialised), then fan shared blocks out.
             let rows: Vec<Vec<BitVec>> =
                 mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| tpg.expand(t));
-            self.batched_matrix(&rows, target_faults, jobs)
+            self.batched_matrix(&rows, target_faults, jobs, simd_width)
         } else {
             // Per-row engine: expansion fused with the fault simulation,
             // one call per triplet, rows assembled in triplet index order
-            // (only ROW_CHUNK rows of patterns live at a time).
+            // (only ROW_CHUNK rows of patterns live at a time). The SIMD
+            // width resolves per row (`τ + 1` lanes).
             let bits = mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
-                self.fsim.detects(&tpg.expand(t), target_faults)
+                let expanded = tpg.expand(t);
+                let width = simd_width.resolve(expanded.len());
+                self.fsim.detects_wide(&expanded, target_faults, width)
             });
             DetectionMatrix::from_rows(target_faults.len(), bits)
         };
@@ -226,10 +232,12 @@ impl InitialReseedingBuilder {
         &self,
         rows: &[Vec<BitVec>],
         jobs: usize,
+        simd_width: SimdWidth,
         simulate: &BlockRangeSim<'_, T>,
     ) -> Vec<(usize, T)> {
         let lengths: Vec<usize> = rows.iter().map(Vec::len).collect();
-        let plan = BatchPlan::new(&lengths);
+        let total_lanes: usize = lengths.iter().sum();
+        let plan = BatchPlan::with_width(&lengths, simd_width.resolve(total_lanes));
         let ranges = plan.block_count().div_ceil(Self::BLOCK_CHUNK);
         let partials = mini_rayon::par_map_indexed(jobs, ranges, |i| {
             let lo = i * Self::BLOCK_CHUNK;
@@ -247,8 +255,9 @@ impl InitialReseedingBuilder {
         rows: &[Vec<BitVec>],
         target_faults: &FaultList,
         jobs: usize,
+        simd_width: SimdWidth,
     ) -> DetectionMatrix {
-        let partials = self.batched_partials(rows, jobs, &|plan, range| {
+        let partials = self.batched_partials(rows, jobs, simd_width, &|plan, range| {
             self.fsim.detects_blocks(plan, range, rows, target_faults)
         });
         DetectionMatrix::from_partial_rows(rows.len(), target_faults.len(), partials)
@@ -279,6 +288,7 @@ impl InitialReseedingBuilder {
         seed: u64,
         jobs: usize,
         build: MatrixBuild,
+        simd_width: SimdWidth,
     ) -> (Vec<Triplet>, FirstDetectionMatrix) {
         self.matrix_passes.fetch_add(1, Ordering::Relaxed);
         let triplets = derive_triplets(tpg, patterns, tau_max, seed);
@@ -286,7 +296,7 @@ impl InitialReseedingBuilder {
         let firsts: Vec<Vec<u32>> = if use_batched(build, patterns.len(), tau_max) {
             let rows: Vec<Vec<BitVec>> =
                 mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| tpg.expand(t));
-            let partials = self.batched_partials(&rows, jobs, &|plan, range| {
+            let partials = self.batched_partials(&rows, jobs, simd_width, &|plan, range| {
                 self.fsim
                     .first_detections_blocks(plan, range, &rows, target_faults)
             });
@@ -296,8 +306,10 @@ impl InitialReseedingBuilder {
             firsts
         } else {
             mini_rayon::par_chunks_map(jobs, &triplets, Self::ROW_CHUNK, |t| {
+                let expanded = tpg.expand(t);
+                let width = simd_width.resolve(expanded.len());
                 self.fsim
-                    .run(&tpg.expand(t), target_faults)
+                    .run_wide(&expanded, target_faults, width)
                     .first_detection
                     .iter()
                     .map(|o| o.map_or(FaultSimulator::NO_DETECTION, |v| v))
@@ -529,6 +541,7 @@ mod tests {
                 cfg.seed,
                 1,
                 engine,
+                SimdWidth::Auto,
             );
             for tau in [0usize, 1, 3, 9] {
                 let (trip, matrix) = b.matrix_for(
@@ -539,6 +552,7 @@ mod tests {
                     cfg.seed,
                     1,
                     engine,
+                    SimdWidth::Auto,
                 );
                 let derived: Vec<_> = trip_max.iter().map(|t| t.with_tau(tau)).collect();
                 assert_eq!(trip, derived, "τ={tau} {engine}: triplets");
@@ -567,6 +581,7 @@ mod tests {
                 cfg.seed,
                 jobs,
                 MatrixBuild::Batched,
+                SimdWidth::Auto,
             )
         };
         let serial = build(1);
@@ -604,6 +619,7 @@ mod tests {
             cfg.seed,
             1,
             MatrixBuild::Auto,
+            SimdWidth::Auto,
         );
         assert_eq!(b.matrix_sim_passes(), 2);
         b.reset_matrix_sim_passes();

@@ -1,6 +1,7 @@
 //! Flow configuration.
 
 use fbist_atpg::AtpgConfig;
+use fbist_bits::SimdWidth;
 use fbist_setcover::{Backend, SolveConfig};
 use fbist_tpg::{
     AccumulatorOp, AccumulatorTpg, Lfsr, MultiPolyLfsr, PatternGenerator, WeightedTpg,
@@ -277,6 +278,14 @@ pub struct FlowConfig {
     /// first-detection simulation, or auto). Purely a throughput knob:
     /// every engine traces the identical curve.
     pub sweep_engine: SweepEngine,
+    /// SIMD block width for the packed fault simulator (`[u64; W]` lanes
+    /// per net; [`SimdWidth::Auto`] picks the widest W whose block count
+    /// actually shrinks). Purely a throughput knob: lane `k` of a W-wide
+    /// block is lane `k` of the flat 64·W lane space and every reduction
+    /// runs in flat-lane order, so each width fills bit-identical
+    /// matrices, detections and reports (pinned by
+    /// `tests/simd_width_equivalence.rs`).
+    pub simd_width: SimdWidth,
 }
 
 impl FlowConfig {
@@ -304,6 +313,7 @@ impl FlowConfig {
             jobs: 0,
             matrix_build: MatrixBuild::Auto,
             sweep_engine: SweepEngine::Auto,
+            simd_width: SimdWidth::Auto,
         }
     }
 
@@ -394,6 +404,17 @@ impl FlowConfig {
         self.sweep_engine = sweep_engine;
         self
     }
+
+    /// Selects the packed simulator's SIMD block width
+    /// ([`SimdWidth::Auto`] widens only while the block count shrinks).
+    /// Like `jobs` and the engines, purely a throughput knob: every width
+    /// computes bit-identical matrices, detections and reports. Also
+    /// reaches the ATPG's fault simulation ([`AtpgConfig::simd_width`]).
+    pub fn with_simd_width(mut self, simd_width: SimdWidth) -> FlowConfig {
+        self.simd_width = simd_width;
+        self.atpg.simd_width = simd_width;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +482,18 @@ mod tests {
                 .sweep_engine,
             SweepEngine::FirstDetection
         );
+    }
+
+    #[test]
+    fn simd_width_parse_roundtrip() {
+        for sw in SimdWidth::ALL {
+            assert_eq!(SimdWidth::parse(sw.name()), Some(sw));
+        }
+        assert_eq!(SimdWidth::parse("16"), None);
+        assert_eq!(FlowConfig::new(TpgKind::Adder).simd_width, SimdWidth::Auto);
+        let cfg = FlowConfig::new(TpgKind::Adder).with_simd_width(SimdWidth::W4);
+        assert_eq!(cfg.simd_width, SimdWidth::W4);
+        assert_eq!(cfg.atpg.simd_width, SimdWidth::W4);
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub const THROUGHPUT_KNOBS: &[(&str, &str)] = &[
     ("solve.engine.jobs", "parallel_equivalence"),
     ("matrix_build", "batched_matrix_equivalence"),
     ("sweep_engine", "sweep_equivalence"),
+    ("simd_width", "simd_width_equivalence"),
+    ("atpg.simd_width", "simd_width_equivalence"),
 ];
 
 /// Hashes the solver-relevant fragment of [`SolveConfig`]: reductions,
@@ -484,6 +486,7 @@ impl StageCache {
                 config.seed,
                 config.jobs,
                 config.matrix_build,
+                config.simd_width,
             );
             return (t, m);
         };
@@ -507,6 +510,7 @@ impl StageCache {
             config.seed,
             config.jobs,
             config.matrix_build,
+            config.simd_width,
         );
         store.put(
             key,
@@ -582,6 +586,9 @@ mod tests {
             cfg().with_matrix_build(MatrixBuild::Batched),
             cfg().with_sweep_engine(SweepEngine::PerTau),
             cfg().with_sweep_engine(SweepEngine::FirstDetection),
+            cfg().with_simd_width(fbist_bits::SimdWidth::W1),
+            cfg().with_simd_width(fbist_bits::SimdWidth::W4),
+            cfg().with_simd_width(fbist_bits::SimdWidth::W8),
         ];
         for v in &variants {
             assert_eq!(all_keys(&n, v), base_keys, "config: {v:?}");

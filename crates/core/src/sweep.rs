@@ -320,6 +320,7 @@ fn rebuild_at_tau(
         config.seed,
         config.jobs,
         config.matrix_build,
+        config.simd_width,
     );
     crate::builder::InitialReseeding {
         triplets,

@@ -46,6 +46,7 @@ fn real_first_detection_artifact_round_trips() {
         config.seed,
         1,
         config.matrix_build,
+        config.simd_width,
     );
     let artifact = CachedFirstDetection {
         tau_max: 15,

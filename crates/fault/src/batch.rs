@@ -5,64 +5,82 @@
 //! pays for full 64-lane blocks whether it fills them or not — at the
 //! default `τ = 31` half of every block is dead, at `τ = 3` it is 94 %.
 //! A [`BatchPlan`] removes that waste by concatenating the pattern
-//! streams of many rows into *shared* blocks: each block carries up to 64
-//! consecutive patterns of the global stream, and a [`LaneGroup`] records
-//! which lanes belong to which row. The good circuit is then evaluated
-//! once per shared block and each fault's cone is propagated once per
-//! shared block, cutting both counts by up to `64 / (τ + 1)` versus the
-//! per-row build.
+//! streams of many rows into *shared* blocks: each block carries up to
+//! `64·W` consecutive patterns of the global stream (`W` is the plan's
+//! SIMD width in words, see [`fbist_bits::SimdWidth`]), and a
+//! [`LaneGroup`] records which lanes belong to which row. The good
+//! circuit is then evaluated once per shared block and each fault's cone
+//! is propagated once per shared block, cutting both counts by up to
+//! `64·W / (τ + 1)` versus the per-row build.
 //!
 //! Detection attribution is exact: a row detects a fault iff *some* lane
 //! of *some* of its groups differs at a primary output, which is precisely
 //! the per-row criterion — so the batched matrix is bit-identical to the
-//! per-row one (see [`FaultSimulator::detects_batch`]).
+//! per-row one (see [`FaultSimulator::detects_batch`]). The same argument
+//! makes the result independent of `W`: a `W`-wide block is exactly `W`
+//! consecutive 64-lane blocks evaluated together, lanes keep their flat
+//! stream order, and detection ORs / first-detection minimums reduce in
+//! that order.
 //!
 //! [`FaultSimulator::detects_batch`]: crate::FaultSimulator::detects_batch
 
-use fbist_bits::pack;
+use fbist_bits::{pack, SimWord, SIMD_WIDTHS};
 
 /// One row's contiguous run of lanes within one shared block.
 ///
 /// A row whose stream straddles a block boundary is split into several
 /// groups in consecutive blocks; `start` locates each group's first
-/// pattern within the row's own stream.
+/// pattern within the row's own stream. Lane offsets and lengths are
+/// *flat* lane indices in `0..64·W`, so they need `u16` (a `W = 8` block
+/// has 512 lanes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneGroup {
     /// Row index in the batch.
     pub row: u32,
     /// Index of the group's first pattern within the row's stream.
     pub start: u32,
-    /// First lane the group occupies in the block.
-    pub lane_offset: u8,
+    /// First flat lane the group occupies in the block.
+    pub lane_offset: u16,
     /// Number of lanes (= patterns) in the group.
-    pub len: u8,
+    pub len: u16,
 }
 
 impl LaneGroup {
-    /// The block lanes this group occupies, as a 64-bit mask.
+    /// The block lanes this group occupies, as a 64-bit mask. Only valid
+    /// for groups of a width-1 plan; wider plans use
+    /// [`mask_w`](Self::mask_w).
     #[inline]
     pub fn mask(&self) -> u64 {
         pack::lane_group_mask(self.lane_offset as usize, self.len as usize)
     }
+
+    /// The flat block lanes this group occupies, as a width-`W` mask.
+    #[inline]
+    pub fn mask_w<const W: usize>(&self) -> SimWord<W> {
+        pack::lane_group_mask_w(self.lane_offset as usize, self.len as usize)
+    }
 }
 
-/// One shared 64-lane block of the plan.
+/// One shared block of the plan (up to `64·W` lanes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchBlock {
     /// The lane groups sharing the block, in ascending lane order (and
     /// therefore ascending row order — the stream is concatenated in row
     /// index order). Never empty.
     pub groups: Vec<LaneGroup>,
-    /// Total occupied lanes (`≤ 64`; every block except possibly the last
-    /// is full).
+    /// Total occupied lanes (`≤ 64·W`; every block except possibly the
+    /// last is full).
     pub lanes_used: usize,
 }
 
 /// The shared-block layout for a batch of rows.
 ///
-/// Built from the row lengths alone: lane assignment is a pure function
-/// of `(row_lengths)`, so a plan computed once can drive any number of
-/// simulations and any partition of its blocks across workers.
+/// Built from the row lengths and the SIMD width alone: lane assignment
+/// is a pure function of `(row_lengths, width)`, so a plan computed once
+/// can drive any number of simulations and any partition of its blocks
+/// across workers. The width is carried by the plan, which is how the
+/// batched fault-simulation engines know which monomorphised sweep to
+/// dispatch to.
 ///
 /// # Example
 ///
@@ -78,31 +96,50 @@ pub struct BatchBlock {
 /// // one row straddles the block boundary and splits into two lane groups
 /// let groups: usize = plan.blocks().iter().map(|b| b.groups.len()).sum();
 /// assert_eq!(groups, 21);
+/// // at width 2 (128-lane blocks) the same rows fit one block whole
+/// let wide = BatchPlan::with_width(&[6; 20], 2);
+/// assert_eq!(wide.block_count(), 1);
+/// let groups: usize = wide.blocks().iter().map(|b| b.groups.len()).sum();
+/// assert_eq!(groups, 20);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchPlan {
     blocks: Vec<BatchBlock>,
     rows: usize,
     total_lanes: usize,
+    width_words: usize,
 }
 
 impl BatchPlan {
-    /// Plans shared blocks for rows of the given pattern-stream lengths,
-    /// concatenating streams in row order. Zero-length rows occupy no
-    /// lanes (they simply detect nothing).
+    /// Plans shared 64-lane (`W = 1`) blocks for rows of the given
+    /// pattern-stream lengths — [`with_width`](Self::with_width) at the
+    /// classic one-`u64` width.
+    pub fn new(row_lengths: &[usize]) -> BatchPlan {
+        BatchPlan::with_width(row_lengths, 1)
+    }
+
+    /// Plans shared `64·width_words`-lane blocks for rows of the given
+    /// pattern-stream lengths, concatenating streams in row order.
+    /// Zero-length rows occupy no lanes (they simply detect nothing).
     ///
     /// # Panics
     ///
-    /// Panics if the total lane count overflows `usize` (callers building
-    /// rows from `τ + 1`-pattern expansions are bounded long before this
-    /// by `FlowConfig::MAX_TAU`, but the planner checks rather than
-    /// wrapping silently in release builds).
-    pub fn new(row_lengths: &[usize]) -> BatchPlan {
+    /// Panics if `width_words` is not one of `1, 2, 4, 8`, or if the
+    /// total lane count overflows `usize` (callers building rows from
+    /// `τ + 1`-pattern expansions are bounded long before this by
+    /// `FlowConfig::MAX_TAU`, but the planner checks rather than wrapping
+    /// silently in release builds).
+    pub fn with_width(row_lengths: &[usize], width_words: usize) -> BatchPlan {
+        assert!(
+            SIMD_WIDTHS.contains(&width_words),
+            "BatchPlan: unsupported SIMD width {width_words} (expected one of {SIMD_WIDTHS:?})"
+        );
+        let capacity = pack::BLOCK * width_words;
         let total_lanes: usize = row_lengths
             .iter()
             .try_fold(0usize, |acc, &len| acc.checked_add(len))
             .expect("BatchPlan: total lane count overflows usize");
-        let mut blocks = Vec::with_capacity(total_lanes.div_ceil(pack::BLOCK));
+        let mut blocks = Vec::with_capacity(total_lanes.div_ceil(capacity));
         let mut cur = BatchBlock {
             groups: Vec::new(),
             lanes_used: 0,
@@ -110,7 +147,7 @@ impl BatchPlan {
         for (row, &len) in row_lengths.iter().enumerate() {
             let mut start = 0usize;
             while start < len {
-                if cur.lanes_used == pack::BLOCK {
+                if cur.lanes_used == capacity {
                     blocks.push(std::mem::replace(
                         &mut cur,
                         BatchBlock {
@@ -119,12 +156,12 @@ impl BatchPlan {
                         },
                     ));
                 }
-                let seg = (len - start).min(pack::BLOCK - cur.lanes_used);
+                let seg = (len - start).min(capacity - cur.lanes_used);
                 cur.groups.push(LaneGroup {
                     row: row as u32,
                     start: start as u32,
-                    lane_offset: cur.lanes_used as u8,
-                    len: seg as u8,
+                    lane_offset: cur.lanes_used as u16,
+                    len: seg as u16,
                 });
                 cur.lanes_used += seg;
                 start += seg;
@@ -137,6 +174,7 @@ impl BatchPlan {
             blocks,
             rows: row_lengths.len(),
             total_lanes,
+            width_words,
         }
     }
 
@@ -160,6 +198,17 @@ impl BatchPlan {
         self.total_lanes
     }
 
+    /// The plan's SIMD width in `u64` words per block (`1`, `2`, `4` or
+    /// `8`).
+    pub fn width_words(&self) -> usize {
+        self.width_words
+    }
+
+    /// Lane capacity of one block (`64 · width_words`).
+    pub fn lane_capacity(&self) -> usize {
+        pack::BLOCK * self.width_words
+    }
+
     /// Occupied fraction of the planned lane capacity, in `[0, 1]` (1.0
     /// for an empty plan). Every block except possibly the last is full,
     /// so this approaches 1 as the batch grows — compare with the
@@ -168,7 +217,7 @@ impl BatchPlan {
         if self.blocks.is_empty() {
             1.0
         } else {
-            self.total_lanes as f64 / (self.blocks.len() * pack::BLOCK) as f64
+            self.total_lanes as f64 / (self.blocks.len() * self.lane_capacity()) as f64
         }
     }
 }
@@ -182,6 +231,7 @@ mod tests {
         let plan = BatchPlan::new(&[4, 4, 4]);
         assert_eq!(plan.block_count(), 1);
         assert_eq!(plan.total_lanes(), 12);
+        assert_eq!(plan.width_words(), 1);
         let b = &plan.blocks()[0];
         assert_eq!(b.lanes_used, 12);
         assert_eq!(b.groups.len(), 3);
@@ -235,6 +285,54 @@ mod tests {
     }
 
     #[test]
+    fn wide_plan_is_narrow_plan_reblocked() {
+        // the flat lane stream is identical at every width: group (row,
+        // start, len) runs agree once narrow blocks are re-chunked
+        let lengths = [0usize, 4, 1, 60, 130, 7, 0, 64, 33];
+        let narrow = BatchPlan::new(&lengths);
+        for &w in &[2usize, 4, 8] {
+            let wide = BatchPlan::with_width(&lengths, w);
+            assert_eq!(wide.width_words(), w);
+            assert_eq!(wide.total_lanes(), narrow.total_lanes());
+            assert_eq!(
+                wide.block_count(),
+                narrow.total_lanes().div_ceil(64 * w),
+                "width {w}"
+            );
+            // every pattern lands at flat stream position start-of-block
+            // + lane_offset, matching the narrow plan's stream order
+            let mut stream_pos = 0usize;
+            for block in wide.blocks() {
+                for g in &block.groups {
+                    assert_eq!(g.lane_offset as usize, stream_pos % (64 * w));
+                    stream_pos += g.len as usize;
+                }
+            }
+            assert_eq!(stream_pos, narrow.total_lanes());
+        }
+    }
+
+    #[test]
+    fn wide_groups_exceed_u8_lane_offsets() {
+        // a W=8 block has 512 lanes; offsets past 255 must survive intact
+        let plan = BatchPlan::with_width(&[300, 212], 8);
+        assert_eq!(plan.block_count(), 1);
+        let b = &plan.blocks()[0];
+        assert_eq!(b.lanes_used, 512);
+        assert_eq!(b.groups[1].lane_offset, 300);
+        assert_eq!(b.groups[1].len, 212);
+        let m = b.groups[1].mask_w::<8>();
+        assert_eq!(m.count_ones(), 212);
+        assert_eq!(m.trailing_zeros(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported SIMD width")]
+    fn bogus_width_rejected() {
+        let _ = BatchPlan::with_width(&[4; 4], 3);
+    }
+
+    #[test]
     fn zero_length_rows_are_skipped_but_counted() {
         let plan = BatchPlan::new(&[0, 3, 0]);
         assert_eq!(plan.rows(), 3);
@@ -256,5 +354,9 @@ mod tests {
         let plan = BatchPlan::new(&[4; 32]);
         assert_eq!(plan.block_count(), 2);
         assert_eq!(plan.occupancy(), 1.0);
+        // and a width-2 plan fits them in one 128-lane block
+        let wide = BatchPlan::with_width(&[4; 32], 2);
+        assert_eq!(wide.block_count(), 1);
+        assert_eq!(wide.occupancy(), 1.0);
     }
 }

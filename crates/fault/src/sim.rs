@@ -2,7 +2,7 @@
 
 use std::ops::Range;
 
-use fbist_bits::{pack, BitMatrix, BitVec};
+use fbist_bits::{pack, BitMatrix, BitVec, SimWord, SIMD_WIDTHS};
 use fbist_netlist::{CsrAdjacency, GateId, GateKind, Netlist};
 use fbist_sim::{PackedSimulator, SimError};
 
@@ -87,7 +87,8 @@ pub struct FaultSimulator {
     is_po: Vec<bool>,
 }
 
-/// Per-run scratch space, reused across faults and blocks.
+/// Per-run scratch space, reused across faults and blocks; generic over
+/// the SIMD width `W` of the faulty-value words.
 ///
 /// The event queue is a bitset over topological *ranks*: enqueueing a gate
 /// sets the bit of its rank, and the sweep pops bits in ascending rank
@@ -95,18 +96,18 @@ pub struct FaultSimulator {
 /// exactly the order a rank-keyed priority queue would — without any heap
 /// traffic. Every bit is cleared as it is popped, so the bitset is empty
 /// again when a propagation finishes and needs no per-fault reset.
-struct Scratch {
-    faulty: Vec<u64>,
+struct Scratch<const W: usize> {
+    faulty: Vec<SimWord<W>>,
     stamp: Vec<u32>,
     epoch: u32,
     touched: Vec<u32>,
     pending: Vec<u64>,
 }
 
-impl Scratch {
-    fn new(n: usize) -> Scratch {
+impl<const W: usize> Scratch<W> {
+    fn new(n: usize) -> Scratch<W> {
         Scratch {
-            faulty: vec![0; n],
+            faulty: vec![SimWord::ZERO; n],
             stamp: vec![0; n],
             epoch: 0,
             touched: Vec::new(),
@@ -184,6 +185,22 @@ impl FaultSimulator {
         self.run(patterns, faults).detected
     }
 
+    /// [`detects`](Self::detects) at an explicit SIMD width (`1`, `2`,
+    /// `4` or `8` words per block) — bit-identical at every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_words` is unsupported or a pattern's width
+    /// differs from the input count.
+    pub fn detects_wide(
+        &self,
+        patterns: &[BitVec],
+        faults: &FaultList,
+        width_words: usize,
+    ) -> BitVec {
+        self.run_wide(patterns, faults, width_words).detected
+    }
+
     /// Simulates the pattern set against the fault list with dropping,
     /// recording each fault's first detecting pattern.
     ///
@@ -191,28 +208,57 @@ impl FaultSimulator {
     ///
     /// Panics if a pattern's width differs from the input count.
     pub fn run(&self, patterns: &[BitVec], faults: &FaultList) -> FaultSimResult {
+        self.run_wide(patterns, faults, 1)
+    }
+
+    /// [`run`](Self::run) at an explicit SIMD width. Pattern lanes keep
+    /// their flat stream order inside each `64·W`-lane block, so the
+    /// detected set *and* every first-detection index are byte-identical
+    /// at every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_words` is unsupported or a pattern's width
+    /// differs from the input count.
+    pub fn run_wide(
+        &self,
+        patterns: &[BitVec],
+        faults: &FaultList,
+        width_words: usize,
+    ) -> FaultSimResult {
+        match width_words {
+            1 => self.run_w::<1>(patterns, faults),
+            2 => self.run_w::<2>(patterns, faults),
+            4 => self.run_w::<4>(patterns, faults),
+            8 => self.run_w::<8>(patterns, faults),
+            w => panic!("unsupported SIMD width {w} (expected one of {SIMD_WIDTHS:?})"),
+        }
+    }
+
+    fn run_w<const W: usize>(&self, patterns: &[BitVec], faults: &FaultList) -> FaultSimResult {
         let n = self.netlist().gate_count();
-        let mut good = vec![0u64; n];
-        let mut scratch = Scratch::new(n);
+        let lanes = SimWord::<W>::LANES;
+        let mut good = vec![SimWord::<W>::ZERO; n];
+        let mut scratch = Scratch::<W>::new(n);
         let mut detected = BitVec::zeros(faults.len());
         let mut first_detection = vec![None; faults.len()];
         let mut remaining = faults.len();
 
-        for (block_idx, chunk) in patterns.chunks(pack::BLOCK).enumerate() {
+        for (block_idx, chunk) in patterns.chunks(lanes).enumerate() {
             if remaining == 0 {
                 break;
             }
-            let base = (block_idx * pack::BLOCK) as u32;
-            let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
-            self.sim.eval_block_into(&pi_words, &mut good);
-            self.sim.record_occupancy(chunk.len());
-            let lane_mask = pack::lane_mask(chunk.len());
+            let base = (block_idx * lanes) as u32;
+            let pi_words = pack::pack_patterns_w::<W>(self.sim.input_count(), chunk);
+            self.sim.eval_block_into_w(&pi_words, &mut good);
+            self.sim.record_occupancy_wide(chunk.len(), lanes);
+            let lane_mask = pack::lane_mask_w::<W>(chunk.len());
             for (fid, fault) in faults.iter() {
                 if detected.get(fid.index()) {
                     continue;
                 }
                 let det = self.propagate(&good, fault, &mut scratch) & lane_mask;
-                if det != 0 {
+                if !det.is_zero() {
                     detected.set(fid.index(), true);
                     first_detection[fid.index()] = Some(base + det.trailing_zeros());
                     remaining -= 1;
@@ -242,8 +288,24 @@ impl FaultSimulator {
     ///
     /// Panics if a pattern's width differs from the input count.
     pub fn detects_batch(&self, rows: &[Vec<BitVec>], faults: &FaultList) -> Vec<BitVec> {
+        self.detects_batch_wide(rows, faults, 1)
+    }
+
+    /// [`detects_batch`](Self::detects_batch) over shared blocks of an
+    /// explicit SIMD width — bit-identical rows at every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_words` is unsupported or a pattern's width
+    /// differs from the input count.
+    pub fn detects_batch_wide(
+        &self,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+        width_words: usize,
+    ) -> Vec<BitVec> {
         let lengths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
-        let plan = BatchPlan::new(&lengths);
+        let plan = BatchPlan::with_width(&lengths, width_words);
         let mut out = vec![BitVec::zeros(faults.len()); rows.len()];
         for (row, bits) in self.detects_blocks(&plan, 0..plan.block_count(), rows, faults) {
             out[row].union_with(&bits);
@@ -302,7 +364,8 @@ impl FaultSimulator {
     /// both this loop with different partials, so their packing,
     /// occupancy accounting, masked dropping and lane attribution cannot
     /// drift apart — which is half of the first-detection engine's
-    /// bit-identity contract.
+    /// bit-identity contract. The plan carries the SIMD width; this
+    /// dispatches to the monomorphised sweep for it.
     #[allow(clippy::too_many_arguments)]
     fn blocks_sweep<P>(
         &self,
@@ -312,8 +375,37 @@ impl FaultSimulator {
         faults: &FaultList,
         new_partial: impl Fn() -> P,
         alive: impl Fn(&P, usize) -> bool,
+        record: impl FnMut(&mut P, usize, u32),
+    ) -> Vec<(usize, P)> {
+        match plan.width_words() {
+            1 => self.blocks_sweep_w::<1, P>(plan, range, rows, faults, new_partial, alive, record),
+            2 => self.blocks_sweep_w::<2, P>(plan, range, rows, faults, new_partial, alive, record),
+            4 => self.blocks_sweep_w::<4, P>(plan, range, rows, faults, new_partial, alive, record),
+            8 => self.blocks_sweep_w::<8, P>(plan, range, rows, faults, new_partial, alive, record),
+            w => unreachable!("BatchPlan guarantees a supported width, got {w}"),
+        }
+    }
+
+    /// The width-`W` monomorphisation of the shared block loop. Lane
+    /// groups address the flat `0..64·W` lane space and all detection
+    /// words are [`SimWord<W>`]; everything else is identical to the
+    /// classic 64-lane loop, which *is* the `W = 1` instantiation.
+    #[allow(clippy::too_many_arguments)]
+    fn blocks_sweep_w<const W: usize, P>(
+        &self,
+        plan: &BatchPlan,
+        range: Range<usize>,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+        new_partial: impl Fn() -> P,
+        alive: impl Fn(&P, usize) -> bool,
         mut record: impl FnMut(&mut P, usize, u32),
     ) -> Vec<(usize, P)> {
+        debug_assert_eq!(
+            plan.width_words(),
+            W,
+            "plan width / monomorphisation mismatch"
+        );
         let blocks = &plan.blocks()[range];
         if blocks.is_empty() {
             return Vec::new();
@@ -329,40 +421,41 @@ impl FaultSimulator {
         let mut partial: Vec<P> = (first_row..=last_row).map(|_| new_partial()).collect();
 
         let n = self.netlist().gate_count();
-        let mut good = vec![0u64; n];
-        let mut scratch = Scratch::new(n);
-        let mut pi_words = vec![0u64; self.sim.input_count()];
+        let mut good = vec![SimWord::<W>::ZERO; n];
+        let mut scratch = Scratch::<W>::new(n);
+        let mut pi_words = vec![SimWord::<W>::ZERO; self.sim.input_count()];
         for block in blocks {
-            pi_words.fill(0);
+            pi_words.fill(SimWord::ZERO);
             for g in &block.groups {
                 let row = &rows[g.row as usize];
                 let start = g.start as usize;
-                pack::pack_patterns_at(
+                pack::pack_patterns_at_w(
                     &mut pi_words,
                     g.lane_offset as usize,
                     &row[start..start + g.len as usize],
                 );
             }
-            self.sim.eval_block_into(&pi_words, &mut good);
-            self.sim.record_occupancy(block.lanes_used);
+            self.sim.eval_block_into_w(&pi_words, &mut good);
+            self.sim
+                .record_occupancy_wide(block.lanes_used, SimWord::<W>::LANES);
             for (fid, fault) in faults.iter() {
                 let fi = fid.index();
-                let mut mask = 0u64;
+                let mut mask = SimWord::<W>::ZERO;
                 for g in &block.groups {
                     if alive(&partial[g.row as usize - first_row], fi) {
-                        mask |= g.mask();
+                        mask |= g.mask_w();
                     }
                 }
-                if mask == 0 {
+                if mask.is_zero() {
                     continue; // masked dropping: nobody here still needs it
                 }
                 let det = self.propagate(&good, fault, &mut scratch) & mask;
-                if det == 0 {
+                if det.is_zero() {
                     continue;
                 }
                 for g in &block.groups {
-                    let hit = det & g.mask();
-                    if hit != 0 {
+                    let hit = det & g.mask_w();
+                    if !hit.is_zero() {
                         // the mask only admitted alive rows, and lanes
                         // ascend in stream order, so the lowest set lane
                         // is the group's earliest hit pattern
@@ -416,8 +509,26 @@ impl FaultSimulator {
     ///
     /// Panics if a pattern's width differs from the input count.
     pub fn first_detections(&self, rows: &[Vec<BitVec>], faults: &FaultList) -> Vec<Vec<u32>> {
+        self.first_detections_wide(rows, faults, 1)
+    }
+
+    /// [`first_detections`](Self::first_detections) over shared blocks of
+    /// an explicit SIMD width. First-detection indices are minimums over
+    /// the flat lane stream, which is the same stream at every width, so
+    /// every index is byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_words` is unsupported or a pattern's width
+    /// differs from the input count.
+    pub fn first_detections_wide(
+        &self,
+        rows: &[Vec<BitVec>],
+        faults: &FaultList,
+        width_words: usize,
+    ) -> Vec<Vec<u32>> {
         let lengths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
-        let plan = BatchPlan::new(&lengths);
+        let plan = BatchPlan::with_width(&lengths, width_words);
         let mut out = vec![vec![Self::NO_DETECTION; faults.len()]; rows.len()];
         merge_first_detections(
             &mut out,
@@ -478,22 +589,50 @@ impl FaultSimulator {
     ///
     /// Panics if a pattern's width differs from the input count.
     pub fn dictionary(&self, patterns: &[BitVec], faults: &FaultList) -> BitMatrix {
+        self.dictionary_wide(patterns, faults, 1)
+    }
+
+    /// [`dictionary`](Self::dictionary) at an explicit SIMD width —
+    /// bit-identical cells at every width (lane `k` of a `64·W`-lane
+    /// block is pattern `base + k` either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_words` is unsupported or a pattern's width
+    /// differs from the input count.
+    pub fn dictionary_wide(
+        &self,
+        patterns: &[BitVec],
+        faults: &FaultList,
+        width_words: usize,
+    ) -> BitMatrix {
+        match width_words {
+            1 => self.dictionary_w::<1>(patterns, faults),
+            2 => self.dictionary_w::<2>(patterns, faults),
+            4 => self.dictionary_w::<4>(patterns, faults),
+            8 => self.dictionary_w::<8>(patterns, faults),
+            w => panic!("unsupported SIMD width {w} (expected one of {SIMD_WIDTHS:?})"),
+        }
+    }
+
+    fn dictionary_w<const W: usize>(&self, patterns: &[BitVec], faults: &FaultList) -> BitMatrix {
         let n = self.netlist().gate_count();
-        let mut good = vec![0u64; n];
-        let mut scratch = Scratch::new(n);
+        let lanes = SimWord::<W>::LANES;
+        let mut good = vec![SimWord::<W>::ZERO; n];
+        let mut scratch = Scratch::<W>::new(n);
         let mut m = BitMatrix::new(patterns.len(), faults.len());
-        for (block_idx, chunk) in patterns.chunks(pack::BLOCK).enumerate() {
-            let base = block_idx * pack::BLOCK;
-            let pi_words = pack::pack_patterns(self.sim.input_count(), chunk);
-            self.sim.eval_block_into(&pi_words, &mut good);
-            self.sim.record_occupancy(chunk.len());
-            let lane_mask = pack::lane_mask(chunk.len());
+        for (block_idx, chunk) in patterns.chunks(lanes).enumerate() {
+            let base = block_idx * lanes;
+            let pi_words = pack::pack_patterns_w::<W>(self.sim.input_count(), chunk);
+            self.sim.eval_block_into_w(&pi_words, &mut good);
+            self.sim.record_occupancy_wide(chunk.len(), lanes);
+            let lane_mask = pack::lane_mask_w::<W>(chunk.len());
             for (fid, fault) in faults.iter() {
                 let mut det = self.propagate(&good, fault, &mut scratch) & lane_mask;
-                while det != 0 {
+                while !det.is_zero() {
                     let lane = det.trailing_zeros() as usize;
                     m.set(base + lane, fid.index(), true);
-                    det &= det - 1;
+                    det.clear_lowest();
                 }
             }
         }
@@ -501,18 +640,27 @@ impl FaultSimulator {
     }
 
     /// Injects `fault` into the good values of one block and returns the
-    /// 64-lane detection word (1 = some primary output differs in that
-    /// lane). The caller masks invalid lanes.
-    fn propagate(&self, good: &[u64], fault: Fault, s: &mut Scratch) -> u64 {
+    /// `64·W`-lane detection word (1 = some primary output differs in
+    /// that lane). The caller masks invalid lanes.
+    fn propagate<const W: usize>(
+        &self,
+        good: &[SimWord<W>],
+        fault: Fault,
+        s: &mut Scratch<W>,
+    ) -> SimWord<W> {
         s.next_epoch();
         let netlist = self.sim.netlist();
-        let forced_word = if fault.stuck_value() { u64::MAX } else { 0 };
+        let forced_word = if fault.stuck_value() {
+            SimWord::<W>::MAX
+        } else {
+            SimWord::<W>::ZERO
+        };
 
         // Injection.
         let origin = match fault.site() {
             FaultSite::GateOutput(g) => {
                 if forced_word == good[g.index()] {
-                    return 0; // never excited in this block
+                    return SimWord::ZERO; // never excited in this block
                 }
                 s.faulty[g.index()] = forced_word;
                 s.stamp[g.index()] = s.epoch;
@@ -523,7 +671,7 @@ impl FaultSimulator {
                 let g = netlist.gate(gate);
                 let v = eval_forced(g.kind(), g.fanin(), pin as usize, forced_word, |i| good[i]);
                 if v == good[gate.index()] {
-                    return 0;
+                    return SimWord::ZERO;
                 }
                 s.faulty[gate.index()] = v;
                 s.stamp[gate.index()] = s.epoch;
@@ -580,7 +728,7 @@ impl FaultSimulator {
         }
 
         // Detection: any touched primary output differing from good.
-        let mut det = 0u64;
+        let mut det = SimWord::<W>::ZERO;
         for &t in &s.touched {
             if self.is_po[t as usize] {
                 det |= s.faulty[t as usize] ^ good[t as usize];
@@ -618,33 +766,39 @@ pub fn merge_first_detections(
     }
 }
 
-/// Evaluates a gate reading values through `read`.
+/// Evaluates a gate reading width-`W` values through `read`.
 #[inline]
-fn eval_mixed(kind: GateKind, fanin: &[GateId], read: impl Fn(usize) -> u64) -> u64 {
+fn eval_mixed<const W: usize>(
+    kind: GateKind,
+    fanin: &[GateId],
+    read: impl Fn(usize) -> SimWord<W>,
+) -> SimWord<W> {
+    type S<const W: usize> = SimWord<W>;
     match kind {
-        GateKind::And => fanin.iter().fold(u64::MAX, |a, f| a & read(f.index())),
-        GateKind::Nand => !fanin.iter().fold(u64::MAX, |a, f| a & read(f.index())),
-        GateKind::Or => fanin.iter().fold(0u64, |a, f| a | read(f.index())),
-        GateKind::Nor => !fanin.iter().fold(0u64, |a, f| a | read(f.index())),
-        GateKind::Xor => fanin.iter().fold(0u64, |a, f| a ^ read(f.index())),
-        GateKind::Xnor => !fanin.iter().fold(0u64, |a, f| a ^ read(f.index())),
+        GateKind::And => fanin.iter().fold(S::MAX, |a, f| a & read(f.index())),
+        GateKind::Nand => !fanin.iter().fold(S::MAX, |a, f| a & read(f.index())),
+        GateKind::Or => fanin.iter().fold(S::ZERO, |a, f| a | read(f.index())),
+        GateKind::Nor => !fanin.iter().fold(S::ZERO, |a, f| a | read(f.index())),
+        GateKind::Xor => fanin.iter().fold(S::ZERO, |a, f| a ^ read(f.index())),
+        GateKind::Xnor => !fanin.iter().fold(S::ZERO, |a, f| a ^ read(f.index())),
         GateKind::Not => !read(fanin[0].index()),
         GateKind::Buff => read(fanin[0].index()),
-        GateKind::Const0 => 0,
-        GateKind::Const1 => u64::MAX,
+        GateKind::Const0 => S::ZERO,
+        GateKind::Const1 => S::MAX,
         GateKind::Input | GateKind::Dff => unreachable!("sources are assigned"),
     }
 }
 
 /// Evaluates a gate with one input pin forced to a constant word.
 #[inline]
-fn eval_forced(
+fn eval_forced<const W: usize>(
     kind: GateKind,
     fanin: &[GateId],
     forced_pin: usize,
-    forced_word: u64,
-    read: impl Fn(usize) -> u64,
-) -> u64 {
+    forced_word: SimWord<W>,
+    read: impl Fn(usize) -> SimWord<W>,
+) -> SimWord<W> {
+    type S<const W: usize> = SimWord<W>;
     let pin_val = |p: usize, f: &GateId| {
         if p == forced_pin {
             forced_word
@@ -656,27 +810,27 @@ fn eval_forced(
         GateKind::And => fanin
             .iter()
             .enumerate()
-            .fold(u64::MAX, |a, (p, f)| a & pin_val(p, f)),
+            .fold(S::MAX, |a, (p, f)| a & pin_val(p, f)),
         GateKind::Nand => !fanin
             .iter()
             .enumerate()
-            .fold(u64::MAX, |a, (p, f)| a & pin_val(p, f)),
+            .fold(S::MAX, |a, (p, f)| a & pin_val(p, f)),
         GateKind::Or => fanin
             .iter()
             .enumerate()
-            .fold(0u64, |a, (p, f)| a | pin_val(p, f)),
+            .fold(S::ZERO, |a, (p, f)| a | pin_val(p, f)),
         GateKind::Nor => !fanin
             .iter()
             .enumerate()
-            .fold(0u64, |a, (p, f)| a | pin_val(p, f)),
+            .fold(S::ZERO, |a, (p, f)| a | pin_val(p, f)),
         GateKind::Xor => fanin
             .iter()
             .enumerate()
-            .fold(0u64, |a, (p, f)| a ^ pin_val(p, f)),
+            .fold(S::ZERO, |a, (p, f)| a ^ pin_val(p, f)),
         GateKind::Xnor => !fanin
             .iter()
             .enumerate()
-            .fold(0u64, |a, (p, f)| a ^ pin_val(p, f)),
+            .fold(S::ZERO, |a, (p, f)| a ^ pin_val(p, f)),
         GateKind::Not => !forced_word,
         GateKind::Buff => forced_word,
         _ => unreachable!("input-pin faults exist only on gates with pins"),
@@ -959,6 +1113,79 @@ mod tests {
                 lo = hi;
             }
             assert_eq!(out, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn every_simd_width_matches_width_one() {
+        // detection sets, first-detection indices and dictionary cells
+        // must be byte-identical at W = 1, 2, 4, 8
+        let n = embedded::adder4();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut state = 0x0DDB_A11C_0FFE_E000u64;
+        let mut pat = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            BitVec::from_u64(9, state)
+        };
+        let rows: Vec<Vec<BitVec>> = [0usize, 4, 1, 60, 130, 7, 0, 300, 33]
+            .iter()
+            .map(|&len| (0..len).map(|_| pat()).collect())
+            .collect();
+        let flat: Vec<BitVec> = rows.iter().flatten().cloned().collect();
+        let run1 = sim.run(&flat, &faults);
+        let dict1 = sim.dictionary(&flat, &faults);
+        let batch1 = sim.detects_batch(&rows, &faults);
+        let first1 = sim.first_detections(&rows, &faults);
+        for w in [2usize, 4, 8] {
+            let runw = sim.run_wide(&flat, &faults, w);
+            assert_eq!(runw.detected, run1.detected, "run detected W={w}");
+            assert_eq!(
+                runw.first_detection, run1.first_detection,
+                "run first detection W={w}"
+            );
+            assert_eq!(sim.dictionary_wide(&flat, &faults, w), dict1, "dict W={w}");
+            assert_eq!(
+                sim.detects_batch_wide(&rows, &faults, w),
+                batch1,
+                "batch W={w}"
+            );
+            assert_eq!(
+                sim.first_detections_wide(&rows, &faults, w),
+                first1,
+                "first detections W={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_blocks_min_merge_is_partition_invariant() {
+        // the partition-invariance that lets core fan block ranges across
+        // the pool must hold for wide plans too
+        let n = embedded::c17();
+        let sim = FaultSimulator::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let rows: Vec<Vec<BitVec>> = (0..9)
+            .map(|r| (0..43u64).map(|v| BitVec::from_u64(5, v * 7 + r)).collect())
+            .collect();
+        let whole = sim.first_detections(&rows, &faults);
+        for w in [2usize, 4, 8] {
+            let plan = BatchPlan::with_width(&[43; 9], w);
+            for chunk in [1usize, 2] {
+                let mut out = vec![vec![FaultSimulator::NO_DETECTION; faults.len()]; rows.len()];
+                let mut lo = 0;
+                while lo < plan.block_count() {
+                    let hi = (lo + chunk).min(plan.block_count());
+                    merge_first_detections(
+                        &mut out,
+                        sim.first_detections_blocks(&plan, lo..hi, &rows, &faults),
+                    );
+                    lo = hi;
+                }
+                assert_eq!(out, whole, "W={w} chunk={chunk}");
+            }
         }
     }
 

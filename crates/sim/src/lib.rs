@@ -47,6 +47,7 @@ pub use packed::{LaneOccupancy, PackedSimulator};
 pub use seq::SeqSimulator;
 pub use threeval::TritSimulator;
 
+use fbist_bits::SimWord;
 use fbist_netlist::{GateId, GateKind, Netlist};
 
 /// Evaluates one gate over packed values stored in a flat per-net array.
@@ -82,5 +83,47 @@ pub(crate) fn sweep(netlist: &Netlist, order: &[GateId], values: &mut [u64]) {
             continue;
         }
         values[id.index()] = eval_gate_packed(k, g.fanin(), values);
+    }
+}
+
+/// Width-generic [`eval_gate_packed`]: one [`SimWord<W>`] per net carries
+/// `64·W` pattern lanes. The fold bodies are plain `[u64; W]` array ops,
+/// which the autovectorizer lowers to 128/256/512-bit SIMD.
+#[inline]
+pub(crate) fn eval_gate_packed_w<const W: usize>(
+    kind: GateKind,
+    fanin: &[GateId],
+    values: &[SimWord<W>],
+) -> SimWord<W> {
+    type S<const W: usize> = SimWord<W>;
+    match kind {
+        GateKind::And => fanin.iter().fold(S::MAX, |a, f| a & values[f.index()]),
+        GateKind::Nand => !fanin.iter().fold(S::MAX, |a, f| a & values[f.index()]),
+        GateKind::Or => fanin.iter().fold(S::ZERO, |a, f| a | values[f.index()]),
+        GateKind::Nor => !fanin.iter().fold(S::ZERO, |a, f| a | values[f.index()]),
+        GateKind::Xor => fanin.iter().fold(S::ZERO, |a, f| a ^ values[f.index()]),
+        GateKind::Xnor => !fanin.iter().fold(S::ZERO, |a, f| a ^ values[f.index()]),
+        GateKind::Not => !values[fanin[0].index()],
+        GateKind::Buff => values[fanin[0].index()],
+        GateKind::Const0 => S::ZERO,
+        GateKind::Const1 => S::MAX,
+        GateKind::Input | GateKind::Dff => unreachable!("sources are assigned, not evaluated"),
+    }
+}
+
+/// Width-generic [`sweep`] over [`SimWord<W>`] value buffers.
+#[inline]
+pub(crate) fn sweep_w<const W: usize>(
+    netlist: &Netlist,
+    order: &[GateId],
+    values: &mut [SimWord<W>],
+) {
+    for &id in order {
+        let g = netlist.gate(id);
+        let k = g.kind();
+        if k == GateKind::Input || k == GateKind::Dff {
+            continue;
+        }
+        values[id.index()] = eval_gate_packed_w(k, g.fanin(), values);
     }
 }

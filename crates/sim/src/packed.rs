@@ -2,35 +2,39 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fbist_bits::{pack, BitVec};
+use fbist_bits::{pack, BitVec, SimWord};
 use fbist_netlist::{GateId, Netlist};
 
-use crate::{sweep, SimError};
+use crate::{sweep, sweep_w, SimError};
 
 /// Lane-occupancy statistics of a [`PackedSimulator`].
 ///
-/// Every evaluated block carries 64 lanes whether or not they hold real
-/// patterns; the ratio of used lanes to available lanes is the direct
-/// measure of how much bit-parallel bandwidth a workload wastes. The
-/// per-row Detection-Matrix build occupies only `τ + 1 (mod 64)` lanes of
-/// each row's last block (6.25 % at `τ = 3`); the cross-row batch engine
-/// exists to push this toward 100 %.
+/// Every evaluated block carries its full lane capacity (`64·W` lanes at
+/// SIMD width `W`) whether or not the lanes hold real patterns; the ratio
+/// of used lanes to available lanes is the direct measure of how much
+/// bit-parallel bandwidth a workload wastes. The per-row Detection-Matrix
+/// build occupies only `τ + 1 (mod 64)` lanes of each row's last block
+/// (6.25 % at `τ = 3`); the cross-row batch engine exists to push this
+/// toward 100 %. Capacity is counted per block rather than assumed, so
+/// the ratio stays truthful when blocks of different widths mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneOccupancy {
     /// Blocks evaluated since construction or the last reset.
     pub blocks: u64,
     /// Pattern lanes actually occupied across those blocks.
     pub lanes: u64,
+    /// Total lane capacity of those blocks (`Σ 64·W` over blocks).
+    pub capacity: u64,
 }
 
 impl LaneOccupancy {
     /// Occupied fraction of the available lanes, in `[0, 1]` (1.0 when no
     /// block was evaluated yet).
     pub fn ratio(&self) -> f64 {
-        if self.blocks == 0 {
+        if self.capacity == 0 {
             1.0
         } else {
-            self.lanes as f64 / (self.blocks * pack::BLOCK as u64) as f64
+            self.lanes as f64 / self.capacity as f64
         }
     }
 }
@@ -72,6 +76,7 @@ pub struct PackedSimulator {
     /// blocks is.
     blocks_evaluated: AtomicU64,
     lanes_occupied: AtomicU64,
+    lane_capacity: AtomicU64,
 }
 
 impl Clone for PackedSimulator {
@@ -81,6 +86,7 @@ impl Clone for PackedSimulator {
             order: self.order.clone(),
             blocks_evaluated: AtomicU64::new(self.blocks_evaluated.load(Ordering::Relaxed)),
             lanes_occupied: AtomicU64::new(self.lanes_occupied.load(Ordering::Relaxed)),
+            lane_capacity: AtomicU64::new(self.lane_capacity.load(Ordering::Relaxed)),
         }
     }
 }
@@ -105,18 +111,29 @@ impl PackedSimulator {
             order,
             blocks_evaluated: AtomicU64::new(0),
             lanes_occupied: AtomicU64::new(0),
+            lane_capacity: AtomicU64::new(0),
         })
     }
 
-    /// Records one evaluated block with `lanes_used` occupied lanes.
+    /// Records one evaluated 64-lane block with `lanes_used` occupied
+    /// lanes.
     ///
     /// Called by the block-level drivers (the fault simulator and
     /// [`simulate_patterns`](Self::simulate_patterns)), which know how many
-    /// lanes of the block carried real patterns.
+    /// lanes of the block carried real patterns. Wider drivers use
+    /// [`record_occupancy_wide`](Self::record_occupancy_wide).
     pub fn record_occupancy(&self, lanes_used: usize) {
+        self.record_occupancy_wide(lanes_used, pack::BLOCK);
+    }
+
+    /// Records one evaluated block of `lane_capacity` total lanes (`64·W`
+    /// at SIMD width `W`) with `lanes_used` of them occupied.
+    pub fn record_occupancy_wide(&self, lanes_used: usize, lane_capacity: usize) {
         self.blocks_evaluated.fetch_add(1, Ordering::Relaxed);
         self.lanes_occupied
             .fetch_add(lanes_used as u64, Ordering::Relaxed);
+        self.lane_capacity
+            .fetch_add(lane_capacity as u64, Ordering::Relaxed);
     }
 
     /// Occupancy counters accumulated so far.
@@ -124,6 +141,7 @@ impl PackedSimulator {
         LaneOccupancy {
             blocks: self.blocks_evaluated.load(Ordering::Relaxed),
             lanes: self.lanes_occupied.load(Ordering::Relaxed),
+            capacity: self.lane_capacity.load(Ordering::Relaxed),
         }
     }
 
@@ -131,6 +149,7 @@ impl PackedSimulator {
     pub fn reset_occupancy(&self) {
         self.blocks_evaluated.store(0, Ordering::Relaxed);
         self.lanes_occupied.store(0, Ordering::Relaxed);
+        self.lane_capacity.store(0, Ordering::Relaxed);
     }
 
     /// The simulated netlist.
@@ -158,6 +177,11 @@ impl PackedSimulator {
         vec![0u64; self.netlist.gate_count()]
     }
 
+    /// Allocates a width-`W` value buffer (one [`SimWord<W>`] per net).
+    pub fn value_buffer_w<const W: usize>(&self) -> Vec<SimWord<W>> {
+        vec![SimWord::ZERO; self.netlist.gate_count()]
+    }
+
     /// Evaluates one 64-lane block in place.
     ///
     /// `pi_words[k]` is the packed word of primary input `k` (see
@@ -175,8 +199,37 @@ impl PackedSimulator {
         sweep(&self.netlist, &self.order, values);
     }
 
+    /// Evaluates one `64·W`-lane block in place — the width-generic
+    /// [`eval_block_into`](Self::eval_block_into). Lane `k` of the block
+    /// behaves exactly like lane `k % 64` of 64-lane block `k / 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words` is shorter than the input count or `values`
+    /// shorter than the gate count.
+    pub fn eval_block_into_w<const W: usize>(
+        &self,
+        pi_words: &[SimWord<W>],
+        values: &mut [SimWord<W>],
+    ) {
+        for (k, &pi) in self.netlist.inputs().iter().enumerate() {
+            values[pi.index()] = pi_words[k];
+        }
+        sweep_w(&self.netlist, &self.order, values);
+    }
+
     /// Extracts the packed primary-output words from a value buffer.
     pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect()
+    }
+
+    /// Extracts the packed primary-output words from a width-`W` value
+    /// buffer.
+    pub fn output_words_w<const W: usize>(&self, values: &[SimWord<W>]) -> Vec<SimWord<W>> {
         self.netlist
             .outputs()
             .iter()
@@ -296,6 +349,39 @@ mod tests {
         assert_eq!(r.to_u64(), Some(0));
         let m = n.find("m").unwrap();
         assert!(nets[m.index()]);
+    }
+
+    #[test]
+    fn wide_eval_matches_narrow_blocks() {
+        // lane k of a W-wide block == lane k%64 of narrow block k/64, for
+        // every net: the flat-lane contract the fault engines build on.
+        let sim = PackedSimulator::new(&embedded::adder4()).unwrap();
+        let patterns: Vec<BitVec> = (0..200u64).map(|v| BitVec::from_u64(9, v * 29)).collect();
+        let wide_pi = pack::pack_patterns_w::<4>(9, &patterns);
+        let mut wide = sim.value_buffer_w::<4>();
+        sim.eval_block_into_w(&wide_pi, &mut wide);
+        let mut narrow = sim.value_buffer();
+        for (b, chunk) in patterns.chunks(pack::BLOCK).enumerate() {
+            let pi = pack::pack_patterns(9, chunk);
+            sim.eval_block_into(&pi, &mut narrow);
+            for (net, w) in wide.iter().enumerate() {
+                assert_eq!(w.0[b], narrow[net], "net {net} sub-block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_capacity_per_block() {
+        let sim = PackedSimulator::new(&embedded::majority()).unwrap();
+        sim.record_occupancy(10); // 64-lane block
+        sim.record_occupancy_wide(200, 256); // one W=4 block
+        let occ = sim.occupancy();
+        assert_eq!(occ.blocks, 2);
+        assert_eq!(occ.lanes, 210);
+        assert_eq!(occ.capacity, 320);
+        assert!((occ.ratio() - 210.0 / 320.0).abs() < 1e-12);
+        sim.reset_occupancy();
+        assert_eq!(sim.occupancy().ratio(), 1.0);
     }
 
     #[test]

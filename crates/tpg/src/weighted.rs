@@ -60,6 +60,10 @@ impl WeightedTpg {
         self.weight_num
     }
 
+    // Reference scalar generator: the executable definition of the stream
+    // that the word-at-a-time `pattern_at` below must reproduce exactly
+    // (only the pinning test calls it).
+    #[allow(dead_code)]
     fn keyed_word(&self, delta: &BitVec, theta: &BitVec, cycle: u64, word: u64) -> u64 {
         // SplitMix64 over a key mixing the seeds, the cycle and the word
         // index — deterministic, platform-independent expansion.
@@ -76,16 +80,56 @@ impl WeightedTpg {
     }
 
     /// Deterministically generates the pattern for one evolution cycle.
+    ///
+    /// Bit `i` is drawn from [`keyed_word`](Self::keyed_word)`(…, i)` —
+    /// but instead of one keyed call and one `BitVec::set` per bit, the
+    /// per-pattern part of the key is hoisted out and the bits are
+    /// produced 64 at a time: the inner loop's iterations are independent
+    /// (each mixes `base + i·C` with two SplitMix64 rounds and compares 3
+    /// low bits against the weight threshold), so the autovectorizer can
+    /// run several lanes per instruction. The stream is bit-identical to
+    /// the per-bit path (pinned by `matches_per_bit_reference`).
     fn pattern_at(&self, delta: &BitVec, theta: &BitVec, cycle: u64) -> BitVec {
-        let mut p = BitVec::zeros(self.width);
-        for i in 0..self.width {
-            // draw 3 bits per position; set when below the weight threshold
-            let w = self.keyed_word(delta, theta, cycle, i as u64);
-            if ((w & 0b111) as u8) < self.weight_num {
-                p.set(i, true);
+        let d0 = delta.as_words().first().copied().unwrap_or(0);
+        let t0 = theta.as_words().first().copied().unwrap_or(0);
+        let base = d0
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(t0.rotate_left(17))
+            .wrapping_add(cycle.wrapping_mul(0xBF58476D1CE4E5B9));
+        let threshold = self.weight_num as u64;
+        let words = fbist_bits::words_for(self.width);
+        let mut out = vec![0u64; words];
+        // strength-reduced per-bit key: base + i·C is an arithmetic
+        // sequence, so one running add replaces the per-bit multiply; four
+        // independent mix chains per step keep the multiplier pipelined
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            // borrow trick: (z & 7) < threshold iff the subtraction
+            // wraps, i.e. the difference's sign bit is set
+            (z & 0b111).wrapping_sub(threshold) >> 63
+        };
+        let mut key = base;
+        for (wi, w) in out.iter_mut().enumerate() {
+            // only the live bits of the last word are generated; lanes at
+            // or past `width` are masked off by the BitVec constructor
+            let live = (self.width - wi * 64).min(64) as u64;
+            let mut acc = 0u64;
+            let mut b = 0u64;
+            while b < live {
+                let z0 = mix(key);
+                let z1 = mix(key.wrapping_add(0x94D049BB133111EB));
+                let z2 = mix(key.wrapping_add(0x94D049BB133111EBu64.wrapping_mul(2)));
+                let z3 = mix(key.wrapping_add(0x94D049BB133111EBu64.wrapping_mul(3)));
+                key = key.wrapping_add(0x94D049BB133111EBu64.wrapping_mul(4));
+                acc |= (z0 | (z1 << 1) | (z2 << 2) | (z3 << 3)) << b;
+                b += 4;
             }
+            key = key.wrapping_add(0x94D049BB133111EBu64.wrapping_mul(64 - b));
+            *w = acc;
         }
-        p
+        BitVec::from_word_vec(self.width, out)
     }
 }
 
@@ -118,6 +162,30 @@ impl PatternGenerator for WeightedTpg {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn matches_per_bit_reference() {
+        // the word-at-a-time generator must reproduce the original
+        // bit-at-a-time stream exactly, for widths off the word boundary
+        for width in [1usize, 7, 63, 64, 65, 128, 130] {
+            for weight in [1u8, 4, 7] {
+                let tpg = WeightedTpg::new(width, weight);
+                let delta = BitVec::from_u64(width, 0xDEAD_BEEF_1234_5678);
+                let theta = BitVec::from_u64(width, 0x0F1E_2D3C_4B5A_6978);
+                for cycle in [1u64, 2, 17, 255] {
+                    let fast = tpg.pattern_at(&delta, &theta, cycle);
+                    let mut slow = BitVec::zeros(width);
+                    for i in 0..width {
+                        let w = tpg.keyed_word(&delta, &theta, cycle, i as u64);
+                        if ((w & 0b111) as u8) < weight {
+                            slow.set(i, true);
+                        }
+                    }
+                    assert_eq!(fast, slow, "width {width} weight {weight} cycle {cycle}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn deterministic_expansion() {

@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0xC0FFEE,
         0,
         MatrixBuild::Auto,
+        SimdWidth::Auto,
     );
     println!(
         "custom-TPG detection matrix: {} x {} (density {:.3})",

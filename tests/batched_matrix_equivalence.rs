@@ -65,6 +65,7 @@ fn assert_engines_equivalent(netlist: &Netlist, tpg_kind: TpgKind, label: &str) 
                 cfg.seed,
                 jobs,
                 engine,
+                SimdWidth::Auto,
             )
         };
         let (ref_triplets, ref_matrix) = build(1, MatrixBuild::PerRow);
@@ -145,9 +146,14 @@ fn assert_planner_occupancy(name: &str) {
     let p = genbench_profile(name).expect("profile registered");
     let n = circuit_at(&p, OCCUPANCY_GATES / p.gates as f64);
     let builder = InitialReseedingBuilder::new(&n).expect("combinational circuit");
+    // W = 1 pinned: the ≥ 90 % bound and the block counters below are
+    // stated against the narrow 64-lane plan (a wider block pads its tail
+    // lanes, which is the width knob's business, not the planner's —
+    // width-aware counters are pinned by `simd_width_equivalence`)
     let cfg = FlowConfig::new(TpgKind::Adder)
         .with_tau(3)
-        .with_matrix_build(MatrixBuild::Batched);
+        .with_matrix_build(MatrixBuild::Batched)
+        .with_simd_width(SimdWidth::W1);
     builder.fault_simulator().good_simulator().reset_occupancy();
     let init = builder.build(&cfg);
 
