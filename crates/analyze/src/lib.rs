@@ -14,10 +14,29 @@
 //!    prune hopeless targets before spending random patterns and PODEM
 //!    backtrack budget on them.
 //!
+//! On top of the direct engine, the [`learning`] module computes a
+//! SOCRATES-style **learned-implication database**
+//! ([`LearnedImplications`]): contrapositives of every forward-implication
+//! sweep plus bounded recursive learning (a complete case split on each
+//! queried gate left unjustified at its fixpoint, default depth
+//! [`learning::DEFAULT_RECURSION_DEPTH`]). The database is a CSR table
+//! mapping each literal `2·net + value` to the closed, sorted set of
+//! literals it implies, plus learned global constants — so consumers query
+//! it with a slice lookup. [`untestable_faults_with`] uses it to prove
+//! strictly more faults untestable and to close verdicts over
+//! implication-proved fault equivalence and dominance
+//! ([`fault_relations`]), and the ATPG engine's keyed `static_learning`
+//! knob seeds every PODEM session with it for early conflict detection.
+//!
+//! The crate is also the shared home for fault-independent netlist
+//! *measures*: [`testability`] holds the SCOAP
+//! controllability/observability estimates (`fbist-atpg` re-exports it).
+//!
 //! Everything proven here is *sound*: a fault marked untestable has no
-//! test, and a gate marked unobservable has no sensitisable path to any
-//! observation point. The analyses are deliberately incomplete — they
-//! trade completeness for a cost that is negligible next to ATPG.
+//! test, a learned implication holds in every consistent assignment, and a
+//! gate marked unobservable has no sensitisable path to any observation
+//! point. The analyses are deliberately incomplete — they trade
+//! completeness for a cost that is a small fraction of one ATPG run.
 //!
 //! # Example
 //!
@@ -39,22 +58,31 @@
 #![warn(missing_docs)]
 
 mod implication;
+pub mod learning;
 mod report;
 mod structure;
+pub mod testability;
 mod untestable;
 
 pub use implication::Implicator;
-pub use report::{AnalysisReport, Finding, Severity};
-pub use untestable::untestable_faults;
+pub use learning::{fault_relations, FaultRelations, LearnedImplications};
+pub use report::{AnalysisReport, Finding, Severity, TestabilityEntry};
+pub use testability::Testability;
+pub use untestable::{untestable_faults, untestable_faults_with};
 
 use fbist_fault::FaultList;
 use fbist_netlist::{GateKind, Netlist};
 
+use report::TestabilityEntry as Entry;
 use structure::Structure;
 
 /// At most this many individual findings are listed per code; the rest
 /// fold into one "and N more" finding so huge circuits stay readable.
 const MAX_LISTED: usize = 20;
+
+/// Size of the SCOAP hard-to-test report: the `testability` section lists
+/// the top fault sites by `fault_difficulty`, hardest first.
+const MAX_HARD_NETS: usize = 10;
 
 /// Runs the full static analysis and returns the report backing
 /// `fbist check`.
@@ -85,10 +113,12 @@ pub fn analyze(netlist: &Netlist) -> AnalysisReport {
         }
     }
 
+    let mut testability = Vec::new();
     if cycles.is_empty() {
         let mut imp = Implicator::new(netlist).expect("acyclic: levelize succeeds");
         let order = netlist.levelize().expect("acyclic");
         let s = Structure::compute(netlist, &order, imp.baseline_constants());
+        let db = LearnedImplications::learn(netlist).expect("acyclic");
 
         push_capped(
             &mut findings,
@@ -144,23 +174,50 @@ pub fn analyze(netlist: &Netlist) -> AnalysisReport {
             }
             m
         };
+        let baseline = imp.baseline_constants();
         let mut implied = Vec::new();
+        let mut direct_constant = vec![false; netlist.gate_count()];
         for (id, g) in netlist.iter() {
-            if g.kind().is_source() || g.kind().is_state() || already[id.index()] {
+            if g.kind().is_source() || g.kind().is_state() {
                 continue;
             }
             if let Some(v) = imp.implied_constant(id) {
-                implied.push(format!(
-                    "net {:?} is provably constant {}",
+                direct_constant[id.index()] = true;
+                if !already[id.index()] {
+                    implied.push(format!(
+                        "net {:?} is provably constant {}",
+                        name(netlist, id),
+                        v as u8
+                    ));
+                }
+            }
+        }
+        push_capped(&mut findings, Severity::Info, "implied-constant", implied);
+
+        // Redundancies only static learning can see: constants needing
+        // recursive case splits or indirect-implication chains.
+        let mut learned = Vec::new();
+        for (id, g) in netlist.iter() {
+            if g.kind().is_source()
+                || g.kind().is_state()
+                || baseline[id.index()].is_some()
+                || direct_constant[id.index()]
+            {
+                continue;
+            }
+            if let Some(v) = db.constant(id) {
+                learned.push(format!(
+                    "net {:?} is constant {} by static learning",
                     name(netlist, id),
                     v as u8
                 ));
             }
         }
-        push_capped(&mut findings, Severity::Info, "implied-constant", implied);
+        push_capped(&mut findings, Severity::Info, "learned-constant", learned);
 
         let faults = FaultList::full(netlist);
-        let mask = untestable_faults(netlist, &faults).expect("acyclic");
+        let plain = untestable_faults(netlist, &faults).expect("acyclic");
+        let mask = untestable_faults_with(netlist, &faults, Some(&db)).expect("acyclic");
         let proven: Vec<String> = faults
             .iter()
             .filter(|(fid, _)| mask[fid.index()])
@@ -184,6 +241,25 @@ pub fn analyze(netlist: &Netlist) -> AnalysisReport {
                 ),
             });
         }
+        let extra = mask.iter().zip(&plain).filter(|&(&m, &p)| m && !p).count();
+        if extra > 0 {
+            let samples: Vec<String> = faults
+                .iter()
+                .filter(|(fid, _)| mask[fid.index()] && !plain[fid.index()])
+                .take(5)
+                .map(|(_, f)| f.describe(netlist))
+                .collect();
+            findings.push(Finding {
+                severity: Severity::Info,
+                code: "learned-untestable",
+                message: format!(
+                    "static learning proves {extra} additional faults untestable ({})",
+                    samples.join(", ")
+                ),
+            });
+        }
+
+        testability = hard_to_test(netlist);
     }
 
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
@@ -191,7 +267,47 @@ pub fn analyze(netlist: &Netlist) -> AnalysisReport {
         circuit: netlist.name().to_owned(),
         gates: netlist.gate_count(),
         findings,
+        testability,
     }
+}
+
+/// The SCOAP hard-to-test report: the [`MAX_HARD_NETS`] fault sites with
+/// the highest finite `fault_difficulty`, hardest first, ties broken by
+/// net order then stuck value — a stable ranking of the
+/// random-pattern-resistant regions.
+fn hard_to_test(netlist: &Netlist) -> Vec<Entry> {
+    let t = match Testability::analyze(netlist) {
+        Ok(t) => t,
+        Err(_) => return Vec::new(),
+    };
+    let mut sites: Vec<(u32, usize, bool)> = Vec::new();
+    for (id, _) in netlist.iter() {
+        for stuck in [false, true] {
+            // Saturated measures mean "impossible", which the untestability
+            // findings already cover — the ranking is for *hard*, not
+            // hopeless, sites.
+            if t.cc(id, !stuck) >= Testability::INFINITY || t.co(id) >= Testability::INFINITY {
+                continue;
+            }
+            sites.push((t.fault_difficulty(id, stuck), id.index(), stuck));
+        }
+    }
+    sites.sort_by_key(|&(d, i, s)| (std::cmp::Reverse(d), i, s));
+    sites
+        .into_iter()
+        .take(MAX_HARD_NETS)
+        .map(|(d, i, stuck)| {
+            let id = fbist_netlist::GateId::from_index(i);
+            Entry {
+                net: netlist.gate(id).name().to_owned(),
+                stuck,
+                difficulty: d,
+                cc0: t.cc0(id),
+                cc1: t.cc1(id),
+                co: t.co(id),
+            }
+        })
+        .collect()
 }
 
 fn name(netlist: &Netlist, g: fbist_netlist::GateId) -> &str {

@@ -46,6 +46,25 @@ pub struct Finding {
     pub message: String,
 }
 
+/// One random-pattern-resistant fault site in the SCOAP hard-to-test
+/// report: the net, the harder stuck polarity, and its measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestabilityEntry {
+    /// Net name.
+    pub net: String,
+    /// The stuck value whose detection this entry scores (0 or 1).
+    pub stuck: bool,
+    /// SCOAP `fault_difficulty`: controllability of the opposite value
+    /// plus observability.
+    pub difficulty: u32,
+    /// SCOAP 0-controllability of the net.
+    pub cc0: u32,
+    /// SCOAP 1-controllability of the net.
+    pub cc1: u32,
+    /// SCOAP observability of the net.
+    pub co: u32,
+}
+
 /// The result of [`crate::analyze`]: everything found, plus context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisReport {
@@ -55,6 +74,9 @@ pub struct AnalysisReport {
     pub gates: usize,
     /// All findings, grouped by severity (errors first), stable order.
     pub findings: Vec<Finding>,
+    /// SCOAP hard-to-test regions: the top fault sites by
+    /// `fault_difficulty`, hardest first (empty for cyclic circuits).
+    pub testability: Vec<TestabilityEntry>,
 }
 
 impl AnalysisReport {
@@ -80,6 +102,15 @@ impl AnalysisReport {
         out.push_str(&format!("check {}: {} gates\n", self.circuit, self.gates));
         for f in &self.findings {
             out.push_str(&format!("{}: [{}] {}\n", f.severity, f.code, f.message));
+        }
+        if !self.testability.is_empty() {
+            out.push_str("hardest fault sites (SCOAP difficulty):\n");
+            for e in &self.testability {
+                out.push_str(&format!(
+                    "  {}/{} difficulty={} (cc0={} cc1={} co={})\n",
+                    e.net, e.stuck as u8, e.difficulty, e.cc0, e.cc1, e.co
+                ));
+            }
         }
         out.push_str(&format!(
             "{} errors, {} warnings, {} infos\n",
@@ -115,7 +146,19 @@ impl AnalysisReport {
             json_string(&mut out, &f.message);
             out.push('}');
         }
-        out.push_str("]}");
+        out.push_str("],\"testability\":{\"hard_nets\":[");
+        for (i, e) in self.testability.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"net\":");
+            json_string(&mut out, &e.net);
+            out.push_str(&format!(
+                ",\"stuck\":{},\"difficulty\":{},\"cc0\":{},\"cc1\":{},\"co\":{}}}",
+                e.stuck as u8, e.difficulty, e.cc0, e.cc1, e.co
+            ));
+        }
+        out.push_str("]}}");
         out
     }
 }
@@ -157,6 +200,14 @@ mod tests {
                     message: "1 of 10".to_owned(),
                 },
             ],
+            testability: vec![TestabilityEntry {
+                net: "n1".to_owned(),
+                stuck: false,
+                difficulty: 7,
+                cc0: 2,
+                cc1: 4,
+                co: 3,
+            }],
         }
     }
 
@@ -184,7 +235,9 @@ mod tests {
              \"summary\":{\"errors\":1,\"warnings\":0,\"infos\":1},\
              \"findings\":[\
              {\"severity\":\"error\",\"code\":\"comb-cycle\",\"message\":\"a -> b -> a\"},\
-             {\"severity\":\"info\",\"code\":\"untestable-faults\",\"message\":\"1 of 10\"}]}"
+             {\"severity\":\"info\",\"code\":\"untestable-faults\",\"message\":\"1 of 10\"}],\
+             \"testability\":{\"hard_nets\":[\
+             {\"net\":\"n1\",\"stuck\":0,\"difficulty\":7,\"cc0\":2,\"cc1\":4,\"co\":3}]}}"
         );
     }
 

@@ -4,11 +4,12 @@
 //! measures estimate, per net, how many primary-input assignments are
 //! needed to *control* the net to 0 or 1 (`CC0`, `CC1`) and how hard it is
 //! to *observe* the net at a primary output (`CO`). PODEM uses them to pick
-//! the most promising input during backtrace; they are also a useful
-//! profiling tool in their own right for spotting random-pattern-resistant
-//! regions.
+//! the most promising input during backtrace; `fbist check` uses them to
+//! report random-pattern-resistant regions. They live here, next to the
+//! other fault-independent netlist measures, and `fbist-atpg` re-exports
+//! the module for its callers.
 
-use fbist_netlist::{GateId, GateKind, Netlist};
+use fbist_netlist::{GateId, GateKind, Netlist, NetlistError};
 
 /// SCOAP testability estimates for a combinational netlist.
 ///
@@ -16,13 +17,14 @@ use fbist_netlist::{GateId, GateKind, Netlist};
 ///
 /// ```
 /// use fbist_netlist::embedded;
-/// use fbist_atpg::testability::Testability;
+/// use fbist_analyze::testability::Testability;
 ///
 /// let c17 = embedded::c17();
-/// let t = Testability::analyze(&c17);
+/// let t = Testability::analyze(&c17)?;
 /// let pi = c17.inputs()[0];
 /// assert_eq!(t.cc0(pi), 1);
 /// assert_eq!(t.cc1(pi), 1);
+/// # Ok::<(), fbist_netlist::NetlistError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Testability {
@@ -35,17 +37,20 @@ pub struct Testability {
 const INF: u32 = u32::MAX / 4;
 
 impl Testability {
-    /// Computes SCOAP measures.
+    /// Measures at or above this value are saturated: the net cannot be
+    /// controlled to that value / observed at all.
+    pub const INFINITY: u32 = INF;
+
+    /// Computes SCOAP measures. Sequential netlists are handled by
+    /// treating DFF outputs like primary inputs (full-scan assumption).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the netlist does not levelize. Sequential netlists are
-    /// handled by treating DFF outputs like primary inputs (full-scan
-    /// assumption).
-    pub fn analyze(netlist: &Netlist) -> Testability {
-        let order = netlist
-            .levelize()
-            .expect("testability requires a valid netlist");
+    /// Returns [`NetlistError::CombinationalCycle`] (naming the cycle, the
+    /// same surface the topology pass gives `fbist check`) when the
+    /// netlist does not levelize.
+    pub fn analyze(netlist: &Netlist) -> Result<Testability, NetlistError> {
+        let order = netlist.levelize()?;
         let n = netlist.gate_count();
         let mut cc0 = vec![INF; n];
         let mut cc1 = vec![INF; n];
@@ -203,7 +208,7 @@ impl Testability {
             }
         }
 
-        Testability { cc0, cc1, co }
+        Ok(Testability { cc0, cc1, co })
     }
 
     /// Effort to control the net to 0 (primary inputs have cost 1).
@@ -243,10 +248,14 @@ mod tests {
     use super::*;
     use fbist_netlist::{bench, embedded};
 
+    fn analyze(n: &Netlist) -> Testability {
+        Testability::analyze(n).unwrap()
+    }
+
     #[test]
     fn inputs_have_unit_controllability() {
         let n = embedded::c17();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         for &pi in n.inputs() {
             assert_eq!(t.cc0(pi), 1);
             assert_eq!(t.cc1(pi), 1);
@@ -257,7 +266,7 @@ mod tests {
     fn and_gate_asymmetry() {
         let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n";
         let n = bench::parse(src).unwrap();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         let y = n.find("y").unwrap();
         // CC1 = 1+1+1+1 = 4 (all inputs to 1); CC0 = 1+1 = 2 (any input 0)
         assert_eq!(t.cc1(y), 4);
@@ -268,7 +277,7 @@ mod tests {
     fn deep_chains_cost_more() {
         let src = "INPUT(a)\nOUTPUT(d)\nb = BUFF(a)\nc = BUFF(b)\nd = BUFF(c)\n";
         let n = bench::parse(src).unwrap();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         let a = n.find("a").unwrap();
         let d = n.find("d").unwrap();
         assert!(t.cc1(d) > t.cc1(a));
@@ -280,7 +289,7 @@ mod tests {
     #[test]
     fn outputs_observable_at_zero_cost() {
         let n = embedded::c17();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         for &po in n.outputs() {
             assert_eq!(t.co(po), 0);
         }
@@ -290,7 +299,7 @@ mod tests {
     fn constant_nets_uncontrollable_to_opposite() {
         let src = "OUTPUT(y)\nk = CONST1()\ny = BUFF(k)\n";
         let n = bench::parse(src).unwrap();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         let k = n.find("k").unwrap();
         assert_eq!(t.cc1(k), 0);
         assert!(t.cc0(k) > 1_000_000);
@@ -300,7 +309,7 @@ mod tests {
     fn xor_parity_dp() {
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
         let n = bench::parse(src).unwrap();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         let y = n.find("y").unwrap();
         // parity 0: (0,0) or (1,1) -> 2; parity 1: (0,1)/(1,0) -> 2; +1
         assert_eq!(t.cc0(y), 3);
@@ -310,8 +319,31 @@ mod tests {
     #[test]
     fn difficulty_combines_both() {
         let n = embedded::c17();
-        let t = Testability::analyze(&n);
+        let t = analyze(&n);
         let g = n.find("22").unwrap(); // a PO
         assert_eq!(t.fault_difficulty(g, false), t.cc1(g));
+    }
+
+    #[test]
+    fn analyze_returns_a_result_and_scans_dffs() {
+        // The old API panicked on netlists that fail to levelize; the
+        // fallible surface now forwards `levelize`'s NetlistError instead.
+        // Cyclic netlists are unconstructible through the public builder
+        // (fanins must already exist) and rejected by the bench parser, so
+        // exercise the Result path plus the full-scan assumption on a
+        // sequential netlist built by hand: the DFF output is treated as a
+        // primary input with unit controllability.
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let q = n.add_dff("q").unwrap();
+        let d = n
+            .add_gate(fbist_netlist::GateKind::And, "d", vec![a, q])
+            .unwrap();
+        n.connect_dff(q, d).unwrap();
+        n.add_output(d);
+        let t: Result<Testability, NetlistError> = Testability::analyze(&n);
+        let t = t.unwrap();
+        assert_eq!(t.cc0(q), 1);
+        assert_eq!(t.cc1(q), 1);
     }
 }

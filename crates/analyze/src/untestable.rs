@@ -16,6 +16,14 @@
 //! [`fbist_fault::collapse`]: equivalent faults share their exact test
 //! sets, so one proven member settles the whole class.
 //!
+//! With a [`LearnedImplications`] database
+//! ([`untestable_faults_with`]) the pass proves strictly more: every
+//! implication query additionally applies learned indirect implications
+//! and learned global constants, and the closure also runs over the
+//! implication-proved equivalence classes and dominance pairs of
+//! [`crate::learning::fault_relations`] (an untestable dominator settles
+//! every fault it dominates).
+//!
 //! Everything proven here is sound; the pass is deliberately incomplete
 //! (a `false` entry means "not proven", not "testable").
 
@@ -24,6 +32,7 @@ use fbist_fault::{FaultList, FaultSite};
 use fbist_netlist::{GateKind, Netlist, NetlistError};
 
 use crate::implication::Implicator;
+use crate::learning::{fault_relations, LearnedImplications};
 use crate::structure::Structure;
 
 /// Marks the faults of `faults` that are statically provably untestable.
@@ -36,6 +45,22 @@ use crate::structure::Structure;
 ///
 /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
 pub fn untestable_faults(netlist: &Netlist, faults: &FaultList) -> Result<Vec<bool>, NetlistError> {
+    untestable_faults_with(netlist, faults, None)
+}
+
+/// [`untestable_faults`], optionally strengthened by a learned-implication
+/// database. Everything the plain pass proves is still proven (learning
+/// only ever *adds* refutations), so the learned mask is a superset of
+/// the plain one.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn untestable_faults_with(
+    netlist: &Netlist,
+    faults: &FaultList,
+    db: Option<&LearnedImplications>,
+) -> Result<Vec<bool>, NetlistError> {
     let mut imp = Implicator::new(netlist)?;
     let order = netlist.levelize()?;
     let structure = Structure::compute(netlist, &order, imp.baseline_constants());
@@ -52,7 +77,7 @@ pub fn untestable_faults(netlist: &Netlist, faults: &FaultList) -> Result<Vec<bo
                     true
                 } else {
                     assumptions.push((s, !v));
-                    imp.contradicts(&assumptions)
+                    imp.contradicts_with(&assumptions, db)
                 }
             }
             FaultSite::GateInput { gate, pin } => {
@@ -86,23 +111,62 @@ pub fn untestable_faults(netlist: &Netlist, faults: &FaultList) -> Result<Vec<bo
                             // pins likewise get excitation only.
                         }
                     }
-                    imp.contradicts(&assumptions)
+                    imp.contradicts_with(&assumptions, db)
                 }
             }
         };
         mask[id.index()] = proven;
     }
 
-    // Close the verdicts over structural equivalence classes.
+    // Close the verdicts over structural equivalence classes — and, with a
+    // database, over implication-proved equivalences and dominances too.
+    // Dominance can prove a fault whose class then proves further faults,
+    // so iterate to a fixpoint (monotone, hence terminating).
     let collapsed = collapse(netlist, faults);
+    let relations = db.map(|db| fault_relations(netlist, faults, db));
     let mut class_proven = vec![false; collapsed.representatives.len()];
-    for (i, &m) in mask.iter().enumerate() {
-        if m {
-            class_proven[collapsed.class_of[i]] = true;
+    let mut learned_class_proven = relations
+        .as_ref()
+        .map(|_| vec![false; faults.len()])
+        .unwrap_or_default();
+    loop {
+        let mut changed = false;
+        for (i, &m) in mask.iter().enumerate() {
+            if m && !class_proven[collapsed.class_of[i]] {
+                class_proven[collapsed.class_of[i]] = true;
+                changed = true;
+            }
         }
-    }
-    for (i, m) in mask.iter_mut().enumerate() {
-        *m |= class_proven[collapsed.class_of[i]];
+        for (i, m) in mask.iter_mut().enumerate() {
+            if class_proven[collapsed.class_of[i]] && !*m {
+                *m = true;
+                changed = true;
+            }
+        }
+        if let Some(rel) = &relations {
+            for (i, &m) in mask.iter().enumerate() {
+                let c = rel.class_of[i] as usize;
+                if m && !learned_class_proven[c] {
+                    learned_class_proven[c] = true;
+                    changed = true;
+                }
+            }
+            for (i, m) in mask.iter_mut().enumerate() {
+                if learned_class_proven[rel.class_of[i] as usize] && !*m {
+                    *m = true;
+                    changed = true;
+                }
+            }
+            for &(dom, sub) in &rel.dominances {
+                if mask[dom as usize] && !mask[sub as usize] {
+                    mask[sub as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
     }
     Ok(mask)
 }
@@ -204,6 +268,34 @@ mod tests {
         for f in ["s/0", "h/0"] {
             assert!(named.contains(&f.to_owned()), "{f} missing: {named:?}");
         }
+    }
+
+    #[test]
+    fn learning_proves_strictly_more_than_the_plain_pass() {
+        // d = XOR(w, z) where w and z compute the same function through
+        // twin XOR gates, so d is identically 0. No direct rule sees it:
+        // every single-literal query leaves two free pins on every gate,
+        // and d is a primary output so nothing is observability-blocked.
+        // Only the learned database (w ≡ z from the pass-1 case splits,
+        // then the pass-2 re-split of d's gate over those rows) proves d
+        // constant, settling d stuck-at-0.
+        let src = "INPUT(x1)\nINPUT(x2)\nOUTPUT(d)\n\
+                   w = XOR(x2, x1)\nz = XOR(x1, x2)\nd = XOR(w, z)\n";
+        let n = bench::parse(src).unwrap();
+        let faults = FaultList::full(&n);
+        let plain = untestable_faults(&n, &faults).unwrap();
+        let db = LearnedImplications::learn(&n).unwrap();
+        let learned = untestable_faults_with(&n, &faults, Some(&db)).unwrap();
+        for (i, &p) in plain.iter().enumerate() {
+            assert!(!p || learned[i], "learning dropped a plain verdict");
+        }
+        let plain_named = describe_proven(&plain, &faults, &n);
+        let learned_named = describe_proven(&learned, &faults, &n);
+        assert!(!plain_named.contains(&"d/0".to_owned()), "{plain_named:?}");
+        assert!(
+            learned_named.contains(&"d/0".to_owned()),
+            "{learned_named:?}"
+        );
     }
 
     #[test]

@@ -72,6 +72,18 @@ pub struct AtpgConfig {
     /// of the `atpg` stage key; the detected set and pattern sequence are
     /// unaffected because untestable faults never contribute patterns.
     pub static_prepass: bool,
+    /// Build the static-learning implication database (`fbist-analyze`)
+    /// once per run and use it twice: the untestability pre-pass (when
+    /// `static_prepass` is also set) upgrades to the learned closure —
+    /// indirect implications plus implication-proved fault equivalence and
+    /// dominance — proving strictly more faults untestable, and every
+    /// PODEM session is seeded with the database for early conflict
+    /// detection and search-free untestability proofs. Like
+    /// `static_prepass` this is a *semantic* knob (part of the `atpg`
+    /// stage key): classifications and patterns may differ from a
+    /// learning-free run, but results remain bit-identical across `jobs`
+    /// and `simd_width`.
+    pub static_learning: bool,
     /// SIMD block width for the packed fault simulations behind
     /// dictionaries, drop passes and compaction checks
     /// ([`SimdWidth::Auto`] widens only while the block count shrinks).
@@ -93,6 +105,7 @@ impl Default for AtpgConfig {
             compact: true,
             jobs: 0,
             static_prepass: false,
+            static_learning: false,
             simd_width: SimdWidth::Auto,
         }
     }
@@ -202,9 +215,14 @@ impl Atpg {
         // detection in Phase 1 and PODEM could only ever classify it
         // (untestable or aborted), never produce a test for it.
         let mut untestable: Vec<FaultId> = Vec::new();
+        let learned = config.static_learning.then(|| {
+            fbist_analyze::LearnedImplications::learn(&self.netlist)
+                .expect("netlist already validated")
+        });
         if config.static_prepass {
-            let statically_untestable = fbist_analyze::untestable_faults(&self.netlist, faults)
-                .expect("netlist already validated");
+            let statically_untestable =
+                fbist_analyze::untestable_faults_with(&self.netlist, faults, learned.as_ref())
+                    .expect("netlist already validated");
             remaining.retain(|&id| {
                 if statically_untestable[id.index()] {
                     untestable.push(id);
@@ -268,6 +286,7 @@ impl Atpg {
             &self.netlist,
             PodemConfig {
                 backtrack_limit: config.backtrack_limit,
+                learning: learned,
             },
         )
         .expect("netlist already validated");
@@ -721,6 +740,91 @@ mod tests {
             off.aborted.len()
         );
         assert!(on.untestable.len() > off.untestable.len());
+    }
+
+    #[test]
+    fn static_learning_keeps_coverage_and_jobs_invariance() {
+        // Learning changes which faults abort, never which are detectable;
+        // and seeded sessions stay a pure function of the fault, so the
+        // jobs knob remains pure throughput (full sweep in
+        // tests/atpg_equivalence.rs).
+        let n = embedded::adder4();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::collapsed(&n);
+        let run = |jobs| {
+            atpg.run(
+                &faults,
+                &AtpgConfig {
+                    jobs,
+                    static_learning: true,
+                    ..AtpgConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        assert!((serial.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn static_learning_never_prunes_less_than_the_plain_prepass() {
+        // With a zero backtrack budget every unproven redundancy aborts;
+        // the learned pre-pass must settle at least what the plain
+        // implication sweep settles, with the detected set unchanged.
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\nx = AND(a, b)\ny = AND(x, na)\nz = OR(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let cfg = AtpgConfig {
+            backtrack_limit: 0,
+            max_random_batches: 0,
+            static_prepass: true,
+            ..AtpgConfig::default()
+        };
+        let plain = atpg.run(&faults, &cfg);
+        let learned = atpg.run(
+            &faults,
+            &AtpgConfig {
+                static_learning: true,
+                ..cfg
+            },
+        );
+        assert_eq!(plain.detected, learned.detected);
+        assert!(learned.untestable.len() >= plain.untestable.len());
+        assert!(learned.aborted.len() <= plain.aborted.len());
+    }
+
+    #[test]
+    fn learning_prepass_changes_classification_only() {
+        // With learning fixed on, turning the pre-pass on prunes faults
+        // that are provably untestable — detected by no pattern — so the
+        // pattern sequence and detected set cannot move.
+        let src =
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nna = NOT(a)\ny = OR(a, na)\nz = AND(a, b)\n";
+        let n = bench::parse(src).unwrap();
+        let atpg = Atpg::new(&n).unwrap();
+        let faults = FaultList::full(&n);
+        let base = AtpgConfig {
+            static_learning: true,
+            ..AtpgConfig::default()
+        };
+        let off = atpg.run(&faults, &base);
+        let on = atpg.run(
+            &faults,
+            &AtpgConfig {
+                static_prepass: true,
+                ..base
+            },
+        );
+        assert_eq!(off.patterns, on.patterns);
+        assert_eq!(off.detected, on.detected);
+        assert_eq!(off.random_detected, on.random_detected);
+        let mut a = off.untestable.clone();
+        let mut b = on.untestable.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! that tool's stand-in:
 //!
 //! * [`testability`] — SCOAP-style controllability/observability estimates
-//!   used to guide search;
+//!   used to guide search (now computed by `fbist-analyze`, the shared
+//!   home for netlist measures, and re-exported here);
 //! * [`Podem`] — the PODEM algorithm (Goel 1981) over a two-plane
 //!   (good/faulty) three-valued simulation, complete for combinational
 //!   stuck-at faults: returns a test cube, a proof of untestability, or an
@@ -37,7 +38,7 @@
 mod compact;
 mod engine;
 mod podem;
-pub mod testability;
+pub use fbist_analyze::testability;
 
 pub use compact::{compact_cubes, compaction_ratio};
 pub use engine::{Atpg, AtpgConfig, AtpgResult, FillMode};

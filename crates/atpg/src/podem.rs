@@ -10,6 +10,7 @@
 //! five-valued `D`/`D̄` appear as the pairs `(1,0)` / `(0,1)`. This handles
 //! stem and branch faults uniformly.
 
+use fbist_analyze::LearnedImplications;
 use fbist_bits::{Cube, Trit};
 use fbist_fault::{Fault, FaultSite};
 use fbist_netlist::{CsrAdjacency, GateId, GateKind, Netlist};
@@ -23,12 +24,24 @@ pub struct PodemConfig {
     /// Maximum number of backtracks before giving up with
     /// [`PodemOutcome::Aborted`].
     pub backtrack_limit: usize,
+    /// Optional static-learning database (`fbist-analyze`). When present,
+    /// every search derives the fault's *necessary excitation conditions*
+    /// — the learned good-circuit consequences of the excitation literal —
+    /// and backtracks as soon as the good plane contradicts one, instead
+    /// of discovering the dead end decisions later. A learned constant at
+    /// the excitation net proves the fault untestable with no search at
+    /// all. Outcomes stay a pure function of the fault, so `jobs` /
+    /// SIMD-width invariance is untouched; outcomes may legitimately
+    /// differ from a learning-free run (fewer aborts), which is why the
+    /// knob is part of the `atpg` stage key.
+    pub learning: Option<LearnedImplications>,
 }
 
 impl Default for PodemConfig {
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 1000,
+            learning: None,
         }
     }
 }
@@ -369,7 +382,7 @@ impl Podem {
             fo: netlist.fanouts_csr(),
             fi,
             kinds,
-            testability: Testability::analyze(netlist),
+            testability: Testability::analyze(netlist)?,
             config,
             is_po,
             baseline,
@@ -427,6 +440,15 @@ impl Podem {
             pi: vec![Trit::X; npis],
             stack: Vec::new(),
             changed: Vec::new(),
+            required: Vec::new(),
+        }
+    }
+
+    /// The net whose good value must become `!stuck` to excite `fault`.
+    fn excitation_net(&self, fault: Fault) -> GateId {
+        match fault.site() {
+            FaultSite::GateOutput(g) => g,
+            FaultSite::GateInput { gate, pin } => self.netlist.gate(gate).fanin()[pin as usize],
         }
     }
 
@@ -592,10 +614,7 @@ impl Podem {
     ) -> Option<(GateId, bool)> {
         let stuck = fault.stuck_value();
         // 1. Excitation: the good value at the fault site must be !stuck.
-        let site_net = match fault.site() {
-            FaultSite::GateOutput(g) => g,
-            FaultSite::GateInput { gate, pin } => self.netlist.gate(gate).fanin()[pin as usize],
-        };
+        let site_net = self.excitation_net(fault);
         match planes.good[site_net.index()] {
             TV_X => return Some((site_net, !stuck)),
             v if v == tv_from_bool(stuck) => return None,
@@ -815,6 +834,12 @@ pub struct PodemSession<'p> {
     stack: Vec<(usize, bool, bool)>,
     /// Scratch list of PI positions reassigned since the last implication.
     changed: Vec<usize>,
+    /// Learned necessary conditions for the current fault, as
+    /// `(net, forbidden good value)` pairs: the good plane settling on the
+    /// forbidden value anywhere makes excitation impossible in the whole
+    /// subtree, so the search backtracks immediately. Empty without a
+    /// learning database.
+    required: Vec<(u32, Tv)>,
 }
 
 impl PodemSession<'_> {
@@ -845,6 +870,21 @@ impl PodemSession<'_> {
         self.search.rebind(podem, fault);
         podem.inject(fault, &mut self.search, &mut self.planes);
 
+        // Learned necessary conditions: excitation needs the good value
+        // `!stuck` at the excitation net, so every learned good-circuit
+        // consequence of that literal must hold in any test. A learned
+        // constant equal to the stuck value settles the fault outright.
+        self.required.clear();
+        if let Some(db) = &podem.config.learning {
+            let site = podem.excitation_net(fault);
+            if db.constant(site) == Some(fault.stuck_value()) {
+                return (PodemOutcome::Untestable, stats);
+            }
+            for (w, c) in db.implied(site, !fault.stuck_value()) {
+                self.required.push((w.index() as u32, tv_from_bool(!c)));
+            }
+        }
+
         loop {
             stats.implications += 1;
             if podem
@@ -860,7 +900,19 @@ impl PodemSession<'_> {
                 return (PodemOutcome::Test(cube), stats);
             }
 
-            let objective = podem.objective(&self.planes, fault, &mut self.search);
+            // Early conflict: a learned necessary condition is violated on
+            // the good plane (a definite value holds under every completion
+            // of the current assignment), so no extension excites the
+            // fault — backtrack without exploring the subtree.
+            let learned_conflict = self
+                .required
+                .iter()
+                .any(|&(w, bad)| self.planes.good[w as usize] == bad);
+            let objective = if learned_conflict {
+                None
+            } else {
+                podem.objective(&self.planes, fault, &mut self.search)
+            };
             let next = objective.and_then(|(net, val)| podem.backtrace(net, val, &self.planes));
             match next {
                 Some((pos, val)) => {
@@ -1072,6 +1124,30 @@ z = OR(c, d, e, f, g, h)
     }
 
     #[test]
+    fn learning_settles_constant_sites_without_search() {
+        // y = AND(AND(a, b), NOT(a)) ≡ 0. With a zero backtrack budget the
+        // unseeded engine may abort on y/0; seeded with the learned
+        // database the constant settles it untestable with no decisions.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nna = NOT(a)\nx = AND(a, b)\ny = AND(x, na)\n";
+        let n = bench::parse(src).unwrap();
+        let db = fbist_analyze::LearnedImplications::learn(&n).unwrap();
+        let podem = Podem::with_config(
+            &n,
+            PodemConfig {
+                backtrack_limit: 0,
+                learning: Some(db),
+            },
+        )
+        .unwrap();
+        let y = n.find("y").unwrap();
+        let f = Fault::stuck_at(FaultSite::GateOutput(y), false);
+        let (out, stats) = podem.generate_with_stats(f);
+        assert_eq!(out, PodemOutcome::Untestable);
+        assert_eq!(stats.decisions, 0);
+        assert_eq!(stats.backtracks, 0);
+    }
+
+    #[test]
     fn abort_on_tiny_budget() {
         // A reconvergent circuit where the first decisions usually need
         // revision; with a zero backtrack budget PODEM must abort rather
@@ -1079,7 +1155,14 @@ z = OR(c, d, e, f, g, h)
         // also acceptable — we only require termination.)
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nna = NOT(a)\nx = AND(a, b)\ny = AND(x, na)\n";
         let n = bench::parse(src).unwrap();
-        let podem = Podem::with_config(&n, PodemConfig { backtrack_limit: 0 }).unwrap();
+        let podem = Podem::with_config(
+            &n,
+            PodemConfig {
+                backtrack_limit: 0,
+                ..PodemConfig::default()
+            },
+        )
+        .unwrap();
         let y = n.find("y").unwrap();
         // y is constant 0 (a & !a): y/0 is redundant; proving it requires
         // exhausting decisions, which costs backtracks → Aborted with 0.

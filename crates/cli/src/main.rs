@@ -4,7 +4,7 @@
 //! fbist gen <profile> [--scale F] [--seed N] [--out FILE]
 //! fbist stats <file.bench>
 //! fbist check <file.bench|profile> [--json]
-//! fbist atpg <file.bench|profile> [--seed N] [--static-prepass]
+//! fbist atpg <file.bench|profile> [--seed N] [--static-prepass] [--static-learning]
 //! fbist reseed <file.bench|profile> [--tpg add|sub|mul|lfsr|mplfsr|wrand] [--tau N]
 //! fbist sweep <file.bench|profile> [--tpg KIND] [--taus 0,7,31,...]
 //! fbist compare <file.bench|profile> [--tpg KIND] [--tau N]
@@ -85,7 +85,7 @@ usage:
   fbist gen <profile> [--scale F] [--seed N] [--out FILE]
   fbist stats <circuit>
   fbist check <circuit> [--json]
-  fbist atpg <circuit> [--seed N] [--static-prepass]
+  fbist atpg <circuit> [--seed N] [--static-prepass] [--static-learning]
   fbist reseed <circuit> [--tpg KIND] [--tau N] [--seed N] [--scale F]
                [--csv FILE] [--rom FILE]
   fbist sweep <circuit> [--tpg KIND] [--taus 0,7,31] [--scale F]
@@ -111,14 +111,21 @@ width in 64-lane words; auto picks the widest that still shrinks the
 block count). Results are identical for every job count, backend, engine
 and SIMD width.
 check runs the static analyses only (no simulation): structural errors,
-floating nets, unobservable logic, dead constants, and provably
-untestable stuck-at faults. It exits 0 when clean, 1 when anything of
-warning severity or worse was found, 2 on a usage error; --json emits
-the report as stable machine-readable JSON on stdout.
+floating nets, unobservable logic, dead constants, provably untestable
+stuck-at faults (including learned redundancies from the static-learning
+implication database), and a SCOAP hard-to-test-region report. It exits
+0 when clean, 1 when anything of warning severity or worse was found, 2
+on a usage error; --json emits the report as stable machine-readable
+JSON on stdout (the \"testability\" section lists the hardest fault
+sites by SCOAP difficulty).
 atpg accepts --static-prepass to prune statically-proven-untestable
 faults before any random patterns or PODEM effort is spent on them
 (coverage over detected faults is unchanged; aborted faults may be
-reclassified as untestable).
+reclassified as untestable), and --static-learning to build the
+recursive-learning implication database once per run: it deepens the
+pre-pass proofs (implication-proved fault equivalence and dominance) and
+seeds every PODEM search with early conflict detection, reducing
+aborted faults at equal or better coverage.
 reseed, sweep and serve accept --store DIR (default: the FBIST_STORE
 environment variable) to cache finished stages in a content-addressed
 artifact store, and --no-store to force recomputation; cached answers
@@ -471,6 +478,7 @@ fn cmd_atpg(args: &[String]) -> Result<(), String> {
     let mut cfg = AtpgConfig::default();
     cfg.seed = parse_num(args, "--seed", cfg.seed)?;
     cfg.static_prepass = args.iter().any(|a| a == "--static-prepass");
+    cfg.static_learning = args.iter().any(|a| a == "--static-learning");
     let r = atpg.run(&faults, &cfg);
     println!(
         "{}: {} patterns, coverage {:.2} % (efficiency {:.2} %), {} random-phase detections, {} PODEM tests, {} untestable, {} aborted",

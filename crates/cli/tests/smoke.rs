@@ -110,7 +110,45 @@ fn check_json_is_machine_readable() {
         line.contains("\"summary\":{\"errors\":0,\"warnings\":0,\"infos\":0}"),
         "{stdout}"
     );
-    assert!(line.ends_with("\"findings\":[]}"), "{stdout}");
+    assert!(line.contains("\"findings\":[]"), "{stdout}");
+    assert!(line.ends_with("}}"), "{stdout}");
+}
+
+/// Pins the `testability` JSON schema consumed by dashboards: a
+/// `hard_nets` array whose entries carry the SCOAP numbers in a fixed
+/// key order (`net`, `stuck`, `difficulty`, `cc0`, `cc1`, `co`).
+#[test]
+fn check_json_testability_schema_is_stable() {
+    let (code, stdout, _) = fbist_code(&["check", "c17", "--json"]);
+    assert_eq!(code, Some(0));
+    let line = stdout.trim();
+    let (_, tail) = line
+        .split_once("\"testability\":{\"hard_nets\":[")
+        .unwrap_or_else(|| panic!("no testability section: {stdout}"));
+    // c17 is fully observable, so the hardest-site list is non-empty.
+    let entry = tail
+        .split('}')
+        .next()
+        .unwrap_or_else(|| panic!("empty hard_nets: {stdout}"));
+    let positions: Vec<usize> = [
+        "\"net\":",
+        "\"stuck\":",
+        "\"difficulty\":",
+        "\"cc0\":",
+        "\"cc1\":",
+        "\"co\":",
+    ]
+    .iter()
+    .map(|k| {
+        entry
+            .find(k)
+            .unwrap_or_else(|| panic!("missing {k} in {entry}"))
+    })
+    .collect();
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "key order drifted: {entry}"
+    );
 }
 
 #[test]
@@ -160,6 +198,20 @@ fn check_reports_cycles_from_bench_files_by_full_path() {
 fn atpg_static_prepass_keeps_coverage() {
     let (ok, out_off, _) = fbist(&["atpg", "tiny64"]);
     let (ok2, out_on, _) = fbist(&["atpg", "tiny64", "--static-prepass"]);
+    assert!(ok && ok2);
+    let coverage = |s: &str| {
+        s.split("coverage ")
+            .nth(1)
+            .and_then(|t| t.split(' ').next())
+            .map(str::to_owned)
+    };
+    assert_eq!(coverage(&out_off), coverage(&out_on), "{out_off}\n{out_on}");
+}
+
+#[test]
+fn atpg_static_learning_keeps_coverage() {
+    let (ok, out_off, _) = fbist(&["atpg", "tiny64"]);
+    let (ok2, out_on, _) = fbist(&["atpg", "tiny64", "--static-learning"]);
     assert!(ok && ok2);
     let coverage = |s: &str| {
         s.split("coverage ")

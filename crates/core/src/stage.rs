@@ -89,10 +89,13 @@ fn hash_atpg_fragment(d: &mut Digest, atpg: &AtpgConfig) {
         FillMode::Ones => 2,
     });
     d.bool(atpg.compact);
-    // static_prepass IS keyed, unlike the throughput knobs: it changes
-    // the fault classification (aborted → untestable), so two runs that
-    // differ in it are not interchangeable artifacts.
+    // static_prepass and static_learning ARE keyed, unlike the throughput
+    // knobs: the prepass changes the fault classification (aborted →
+    // untestable) and learning additionally seeds PODEM (patterns may
+    // differ), so two runs that differ in either are not interchangeable
+    // artifacts.
     d.bool(atpg.static_prepass);
+    d.bool(atpg.static_learning);
 }
 
 /// The knobs deliberately **excluded** from every stage key, by config
@@ -660,6 +663,20 @@ mod tests {
         }
         assert_ne!(
             sweep_request_digest(&n, &prepass, &[0, 7]),
+            sweep_request_digest(&n, &base, &[0, 7])
+        );
+        // static_learning reclassifies faults AND reshapes PODEM search,
+        // so like static_prepass it is a semantic knob keyed everywhere
+        let learning = base.clone().with_static_learning(true);
+        for key_fn in [atpg_stage_key, first_detection_stage_key, cover_stage_key] {
+            assert_ne!(
+                key_fn(&n, &learning),
+                key_fn(&n, &base),
+                "static_learning must change every stage key"
+            );
+        }
+        assert_ne!(
+            sweep_request_digest(&n, &learning, &[0, 7]),
             sweep_request_digest(&n, &base, &[0, 7])
         );
         // the circuit feeds everything

@@ -14,6 +14,9 @@
 //! The rules are closed under union-find, giving the standard ~40–60 %
 //! reduction of the full universe.
 
+// determinism: the maps in this module are keyed lookups only — their
+// iteration order is never observed, so hash randomization cannot leak
+// into results.
 use std::collections::HashMap;
 
 use fbist_netlist::{GateKind, Netlist};
@@ -84,6 +87,7 @@ impl UnionFind {
 /// The input list is typically [`FaultList::full`]; faults absent from the
 /// list simply do not participate.
 pub fn collapse(netlist: &Netlist, faults: &FaultList) -> CollapseResult {
+    // determinism: queried via `index.get` only, never iterated.
     let index: HashMap<Fault, u32> = faults.iter().map(|(id, f)| (f, id.0)).collect();
     let mut uf = UnionFind::new(faults.len());
     let lookup = |site: FaultSite, v: bool| index.get(&Fault::stuck_at(site, v)).copied();
@@ -160,6 +164,8 @@ pub fn collapse(netlist: &Netlist, faults: &FaultList) -> CollapseResult {
     }
 
     // Extract representatives in stable (root-id) order.
+    // determinism: `entry()` lookups keyed by union-find root; the
+    // representative order is driven by the stable `faults.iter()` scan.
     let mut rep_index: HashMap<u32, usize> = HashMap::new();
     let mut reps = Vec::new();
     let mut class_of = vec![0usize; faults.len()];

@@ -1,7 +1,7 @@
 //! Repo invariant lints, run as `cargo run -p xtask -- lint` (and as a
 //! plain `cargo test -p xtask`, so the tier-1 suite enforces them too).
 //!
-//! Three invariants, chosen because nothing else in the build would catch
+//! Four invariants, chosen because nothing else in the build would catch
 //! a quiet violation:
 //!
 //! 1. **`#![forbid(unsafe_code)]` in every first-party crate root.** The
@@ -21,6 +21,14 @@
 //!    suite file disappears from `tests/`, or if a manifest knob's field
 //!    name shows up inside a `Digest` call in the key-derivation code —
 //!    either way the exclusion's justification has drifted from reality.
+//! 4. **No hash-order dependence in result-affecting crates.** `HashMap`
+//!    and `HashSet` iterate in a per-process randomized order; a stray
+//!    iteration in `analyze`, `atpg`, `core`, `fault`, or `setcover`
+//!    would make artifacts differ run to run, which the equivalence
+//!    suites only catch if the nondeterminism happens to fire under the
+//!    test inputs. Every use of a hashed container in those crates must
+//!    carry a `determinism:` comment (same line or the comment block
+//!    directly above) arguing why iteration order is never observed.
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +73,7 @@ fn run_lints(root: &Path) -> Vec<String> {
     lint_forbid_unsafe(root, &mut failures);
     lint_no_thread_spawn(root, &mut failures);
     lint_throughput_manifest(root, &mut failures);
+    lint_no_hash_iteration(root, &mut failures);
     failures
 }
 
@@ -217,6 +226,55 @@ fn lint_throughput_manifest(root: &Path, failures: &mut Vec<String>) {
     }
 }
 
+// ------------------------------------------- 4: no hash-order dependence
+
+/// Crates whose outputs land in stage artifacts; hash-order leaks here
+/// show up as run-to-run result drift under a warm artifact store.
+const RESULT_AFFECTING_CRATES: &[&str] = &["analyze", "atpg", "core", "fault", "setcover"];
+
+fn lint_no_hash_iteration(root: &Path, failures: &mut Vec<String>) {
+    // built at runtime so this source file cannot trip its own lint
+    let needles = [["Hash", "Map"].concat(), ["Hash", "Set"].concat()];
+    let tag: String = ["determinism", ":"].concat();
+    for krate in RESULT_AFFECTING_CRATES {
+        let mut sources = Vec::new();
+        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut sources);
+        for path in sources {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                let code = line.split("//").next().unwrap_or("");
+                if !needles.iter().any(|n| code.contains(n.as_str())) {
+                    continue;
+                }
+                if line.contains(&tag) || preceding_comment_contains(&lines, i, &tag) {
+                    continue;
+                }
+                failures.push(format!(
+                    "{}:{}: hashed container in a result-affecting crate — \
+                     iteration order is randomized per process; use a \
+                     Vec/BTreeMap, or justify with a `// {tag} ...` comment \
+                     proving the order is never observed",
+                    path.display(),
+                    i + 1
+                ));
+            }
+        }
+    }
+}
+
+/// True when the contiguous `//` comment block directly above line `i`
+/// mentions `needle`.
+fn preceding_comment_contains(lines: &[&str], i: usize, needle: &str) -> bool {
+    lines[..i]
+        .iter()
+        .rev()
+        .take_while(|l| l.trim_start().starts_with("//"))
+        .any(|l| l.contains(needle))
+}
+
 /// Extracts the `(knob, suite)` pairs from the `THROUGHPUT_KNOBS` array
 /// by scanning the quoted string pairs between the declaration and the
 /// closing `];`.
@@ -307,6 +365,30 @@ mod tests {
         lint_throughput_manifest(&dir, &mut failures);
         assert_eq!(failures.len(), 1, "{failures:#?}");
         assert!(failures[0].contains("no_such_suite"), "{failures:#?}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unjustified_hash_container_is_reported() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/fault/src")).unwrap();
+        std::fs::write(
+            dir.join("crates/fault/src/lib.rs"),
+            "use std::collections::HashMap;\n\
+             // determinism: lookup-only, never iterated.\n\
+             fn ok(m: &HashMap<u32, u32>) -> Option<u32> { m.get(&0).copied() }\n\
+             fn bad() { let s = std::collections::HashSet::<u32>::new(); \
+             for _ in &s {} }\n",
+        )
+        .unwrap();
+        let mut failures = Vec::new();
+        lint_no_hash_iteration(&dir, &mut failures);
+        // line 1 has no justification; line 3 is covered by the comment
+        // above it; line 4 names HashSet with no justification.
+        assert_eq!(failures.len(), 2, "{failures:#?}");
+        assert!(failures[0].contains("lib.rs:1:"), "{failures:#?}");
+        assert!(failures[1].contains("lib.rs:4:"), "{failures:#?}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

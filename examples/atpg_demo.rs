@@ -24,7 +24,7 @@ z  = XOR(m, c)
     println!("UUT: {netlist}");
 
     // --- SCOAP testability ------------------------------------------------
-    let t = Testability::analyze(&netlist);
+    let t = Testability::analyze(&netlist)?;
     println!("\nSCOAP (CC0 / CC1 / CO):");
     for (id, gate) in netlist.iter() {
         println!(

@@ -24,7 +24,19 @@
 //! A proptest half cross-checks soundness on random circuits: a fault
 //! proven untestable by [`untestable_faults`] is never detected by random
 //! pattern sets nor by the full ATPG-generated test set.
+//!
+//! PR 10 extends both halves to static learning:
+//!
+//! * the prepass contracts also run with `static_learning` on, comparing
+//!   (learning on, prepass off) against (learning on, prepass on): the
+//!   detected set, pattern list, and random-phase statistics must be
+//!   byte-identical, and every learned-pruned fault lands in `untestable`;
+//! * proptests validate every learned implication, learned constant,
+//!   implication-proved fault equivalence, and dominance edge against
+//!   exhaustive truth-table simulation of the random circuit (≤ 4 inputs,
+//!   so ≤ 16 patterns enumerate the whole input space).
 
+use fbist_analyze::{fault_relations, untestable_faults_with, LearnedImplications};
 use fbist_genbench::{all_profiles, generate, CircuitProfile};
 use proptest::prelude::*;
 use set_covering_reseeding::prelude::*;
@@ -121,6 +133,57 @@ fn assert_prepass_equivalent(netlist: &Netlist, label: &str) {
         assert!(
             on.untestable.len() >= off.untestable.len(),
             "{label} jobs={jobs}: prepass lost untestable classifications"
+        );
+    }
+
+    // The same contract with static learning on: the learned database
+    // upgrades the prepass (deeper proofs) and seeds PODEM, but pruning
+    // still must not change what is detected — only reclassify.
+    let db = LearnedImplications::learn(&n).unwrap();
+    let learned_proven = untestable_faults_with(&n, &faults, Some(&db)).unwrap();
+    for (i, &p) in statically_proven.iter().enumerate() {
+        assert!(
+            !p || learned_proven[i],
+            "{label}: learning dropped a plain untestability verdict"
+        );
+    }
+    let run = |static_prepass: bool| {
+        atpg.run(
+            &faults,
+            &AtpgConfig {
+                static_prepass,
+                static_learning: true,
+                ..AtpgConfig::default()
+            },
+        )
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(
+        off.detected, on.detected,
+        "{label} learning: detected set changed by the prepass"
+    );
+    assert_eq!(
+        off.patterns, on.patterns,
+        "{label} learning: patterns changed by the prepass"
+    );
+    assert_eq!(
+        off.random_detected, on.random_detected,
+        "{label} learning: random-phase statistics changed by the prepass"
+    );
+    for (id, f) in faults.iter() {
+        if !learned_proven[id.index()] {
+            continue;
+        }
+        assert!(
+            on.untestable.contains(&id) && !on.aborted.contains(&id),
+            "{label} learning: pruned fault {} not reported untestable",
+            f.describe(&n)
+        );
+        assert!(
+            !on.detected.get(id.index()) && !off.detected.get(id.index()),
+            "{label} learning: pruned fault {} detected — unsound proof",
+            f.describe(&n)
         );
     }
 }
@@ -299,8 +362,134 @@ fn arb_redundant_netlist() -> impl Strategy<Value = Netlist> {
     })
 }
 
+/// Good-circuit truth tables: net values for every input pattern. The
+/// random netlists have at most 4 inputs, so the full space is ≤ 16 rows.
+fn truth_tables(n: &Netlist) -> Vec<Vec<bool>> {
+    let order = n.levelize().expect("combinational");
+    let width = n.inputs().len();
+    (0..1u32 << width)
+        .map(|pat| {
+            let mut val = vec![false; n.gate_count()];
+            for &id in &order {
+                let g = n.gate(id);
+                val[id.index()] = match g.kind() {
+                    GateKind::Input => (pat >> n.input_position(id).expect("input")) & 1 == 1,
+                    GateKind::Const0 => false,
+                    GateKind::Const1 => true,
+                    GateKind::Dff => false,
+                    kind => {
+                        let pins: Vec<u64> =
+                            g.fanin().iter().map(|f| val[f.index()] as u64).collect();
+                        fbist_netlist::eval_packed(kind, &pins) & 1 == 1
+                    }
+                };
+            }
+            val
+        })
+        .collect()
+}
+
+/// Per-pattern detection masks for every fault: row `p` answers "which
+/// faults does input pattern `p` alone detect".
+fn detection_tables(n: &Netlist, faults: &FaultList) -> Vec<BitVec> {
+    let fsim = FaultSimulator::new(n).unwrap();
+    let width = n.inputs().len();
+    (0..1u32 << width)
+        .map(|pat| {
+            let p = BitVec::from_u64(width, pat as u64);
+            fsim.detects(std::slice::from_ref(&p), faults)
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Soundness of the learned database itself: every learned implication
+    /// and every learned constant holds on every input pattern.
+    #[test]
+    fn learned_implications_hold_exhaustively(netlist in arb_redundant_netlist()) {
+        let db = LearnedImplications::learn(&netlist).unwrap();
+        let tables = truth_tables(&netlist);
+        for (gid, g) in netlist.iter() {
+            if let Some(b) = db.constant(gid) {
+                for row in &tables {
+                    prop_assert_eq!(
+                        row[gid.index()], b,
+                        "learned constant {}={} violated", g.name(), b
+                    );
+                }
+            }
+            for v in [false, true] {
+                for (w, c) in db.implied(gid, v) {
+                    for row in &tables {
+                        if row[gid.index()] == v {
+                            prop_assert_eq!(
+                                row[w.index()], c,
+                                "learned {}={} => {}={} violated",
+                                g.name(), v, netlist.gate(w).name(), c
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Soundness of the implication-derived fault relations: equivalent
+    /// faults share their exact test set, every test of a dominated fault
+    /// also detects its dominator, and the learned untestability mask
+    /// (which closes over both) never covers a detectable fault.
+    #[test]
+    fn learned_fault_relations_hold_exhaustively(netlist in arb_redundant_netlist()) {
+        let faults = FaultList::full(&netlist);
+        let db = LearnedImplications::learn(&netlist).unwrap();
+        let rel = fault_relations(&netlist, &faults, &db);
+        let detected = detection_tables(&netlist, &faults);
+        let names: Vec<String> = faults.iter().map(|(_, f)| f.describe(&netlist)).collect();
+
+        for (id, _) in faults.iter() {
+            let rep = rel.class_of[id.index()] as usize;
+            if rep == id.index() {
+                continue;
+            }
+            for (pat, det) in detected.iter().enumerate() {
+                prop_assert_eq!(
+                    det.get(id.index()), det.get(rep),
+                    "pattern {:b} splits claimed-equivalent faults {} and {}",
+                    pat, &names[id.index()], &names[rep]
+                );
+            }
+        }
+        for &(dom, sub) in &rel.dominances {
+            for (pat, det) in detected.iter().enumerate() {
+                prop_assert!(
+                    !det.get(sub as usize) || det.get(dom as usize),
+                    "pattern {:b} detects dominated fault {} but not dominator {}",
+                    pat, names[sub as usize], names[dom as usize]
+                );
+            }
+        }
+
+        let plain = untestable_faults(&netlist, &faults).unwrap();
+        let learned = untestable_faults_with(&netlist, &faults, Some(&db)).unwrap();
+        for (id, f) in faults.iter() {
+            prop_assert!(
+                !plain[id.index()] || learned[id.index()],
+                "learning dropped the plain verdict on {}",
+                f.describe(&netlist)
+            );
+            if learned[id.index()] {
+                for det in &detected {
+                    prop_assert!(
+                        !det.get(id.index()),
+                        "learned pass claims {} untestable but a pattern detects it",
+                        f.describe(&netlist)
+                    );
+                }
+            }
+        }
+    }
 
     /// Soundness: a statically-proven untestable fault is never detected —
     /// not by random patterns, not by the full ATPG test set.

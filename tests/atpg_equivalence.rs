@@ -3,8 +3,8 @@
 //!
 //! For **every** genbench profile (scaled to a small, fast gate budget —
 //! the round/dictionary machinery is identical at every size), every fill
-//! mode, and `jobs ∈ {1, 4}`, the engine must produce a **byte-for-byte
-//! identical** [`AtpgResult`] — patterns, detection flags, untestable and
+//! mode, static learning off *and* on, and `jobs ∈ {1, 4}`, the engine
+//! must produce a **byte-for-byte identical** [`AtpgResult`] — patterns, detection flags, untestable and
 //! aborted lists, and every statistic. This is the ATPG-level sibling of
 //! the `parallel_equivalence` (flow jobs), `sparse_dense_equivalence`
 //! (backend) and `batched_matrix_equivalence` (matrix engine) contracts:
@@ -37,35 +37,42 @@ fn small(p: &CircuitProfile) -> Netlist {
     }
 }
 
-/// Serial vs 4-worker ATPG, byte-for-byte, across every fill mode, for
-/// one netlist — plus the reconciliation invariant (no fault may be
-/// reported both given-up and detected).
+/// Serial vs 4-worker ATPG, byte-for-byte, across every fill mode and
+/// with static learning both off and on, for one netlist — plus the
+/// reconciliation invariant (no fault may be reported both given-up and
+/// detected). Learning seeds every PODEM search from a database built
+/// once per run, so it must not introduce any worker-count dependence.
 fn assert_atpg_equivalent(netlist: &Netlist, label: &str) {
     let atpg = Atpg::new(netlist).unwrap();
     let faults = FaultList::collapsed(netlist);
     for fill in [FillMode::Random, FillMode::Zeros, FillMode::Ones] {
-        let run = |jobs: usize| {
-            atpg.run(
-                &faults,
-                &AtpgConfig {
-                    jobs,
-                    fill,
-                    ..AtpgConfig::default()
-                },
-            )
-        };
-        let serial = run(1);
-        let parallel = run(4);
-        assert_eq!(
-            serial, parallel,
-            "{label} fill={fill:?}: jobs=4 AtpgResult differs from serial"
-        );
-        for id in serial.aborted.iter().chain(&serial.untestable) {
-            assert!(
-                !serial.detected.get(id.index()),
-                "{label} fill={fill:?}: fault {} double-counted",
-                id.index()
+        for static_learning in [false, true] {
+            let run = |jobs: usize| {
+                atpg.run(
+                    &faults,
+                    &AtpgConfig {
+                        jobs,
+                        fill,
+                        static_learning,
+                        ..AtpgConfig::default()
+                    },
+                )
+            };
+            let serial = run(1);
+            let parallel = run(4);
+            assert_eq!(
+                serial, parallel,
+                "{label} fill={fill:?} learning={static_learning}: \
+                 jobs=4 AtpgResult differs from serial"
             );
+            for id in serial.aborted.iter().chain(&serial.untestable) {
+                assert!(
+                    !serial.detected.get(id.index()),
+                    "{label} fill={fill:?} learning={static_learning}: \
+                     fault {} double-counted",
+                    id.index()
+                );
+            }
         }
     }
 }

@@ -151,6 +151,40 @@ fn every_profile_matches_width_one_with_lfsr_tpg() {
     }
 }
 
+/// Static learning on, across every profile: the learned-implication
+/// database is a pure function of the netlist — computed once before the
+/// fault rounds — and the PODEM seeding it feeds is per-fault pure, so
+/// learning must not introduce any width (or jobs) dependence into the
+/// ATPG result. This is the learning half of the PR-10 invariance
+/// obligation; `atpg_equivalence` pins the jobs axis per fill mode.
+#[test]
+fn atpg_with_static_learning_is_width_invariant() {
+    for p in all_profiles() {
+        let n = small(&p);
+        let builder = InitialReseedingBuilder::new(&n).expect("combinational circuit");
+        for jobs in [1usize, 4] {
+            let base_at = |w: SimdWidth| {
+                builder.atpg_base(
+                    &FlowConfig::new(TpgKind::Adder)
+                        .with_tau(31)
+                        .with_jobs(jobs)
+                        .with_simd_width(w)
+                        .with_static_learning(true),
+                )
+            };
+            let narrow = base_at(SimdWidth::W1);
+            for w in WIDE {
+                assert_eq!(
+                    narrow.atpg,
+                    base_at(w).atpg,
+                    "{} jobs={jobs} {w}: learning-on ATPG differs from W=1",
+                    p.name
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn sweep_curves_are_width_invariant() {
     // the τ-sweep drives the simulator through its remaining public entry
